@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper and capture outputs.
+#
+# Usage:  ./scripts/reproduce_all.sh [output-dir]
+#
+# Produces:
+#   <out>/test_output.txt   -- full unit/property/integration test run
+#   <out>/bench_output.txt  -- every table/figure reproduction + timings
+set -euo pipefail
+
+OUT="${1:-.}"
+cd "$(dirname "$0")/.."
+
+echo "== Installing (editable) =="
+pip install -e . --quiet 2>/dev/null \
+  || pip install -e . --no-build-isolation --quiet 2>/dev/null \
+  || python setup.py develop --quiet
+
+echo "== Unit, property and integration tests =="
+python -m pytest tests/ 2>&1 | tee "${OUT}/test_output.txt"
+
+echo "== Paper reproduction benchmarks =="
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee "${OUT}/bench_output.txt"
+
+echo "== Done. Compare the printed tables against EXPERIMENTS.md =="

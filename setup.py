@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` can fall back to the legacy develop install on
+offline machines where the ``wheel`` package (required by the
+PEP-517 editable path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,128 @@
+"""FreqTier / HybridTier: adaptive, lightweight CXL-memory tiering.
+
+A full reproduction of *"Lightweight Frequency-Based Tiering for CXL
+Memory Systems"* (the arXiv preprint of **HybridTier**, ASPLOS 2025):
+the FreqTier tiering system, the AutoNUMA / TPP / HeMem baselines, and
+a trace-driven tiered-memory simulator standing in for the paper's
+emulated-CXL testbed.
+
+Quickstart::
+
+    from repro import (
+        CacheLibWorkload, CDN_PROFILE, ExperimentConfig,
+        FreqTier, AutoNUMA, compare_policies,
+    )
+
+    config = ExperimentConfig(local_fraction=0.06, ratio_label="1:32")
+    results = compare_policies(
+        lambda: CacheLibWorkload(CDN_PROFILE, slab_pages=16384, seed=1),
+        {"FreqTier": FreqTier, "AutoNUMA": AutoNUMA},
+        config,
+    )
+    print(results["FreqTier"].summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-table/figure reproduction index.
+"""
+
+from repro._units import (
+    GiB,
+    KiB,
+    MiB,
+    PAGE_SIZE,
+    PAGES_PER_SIM_GB,
+    SCALE_FACTOR,
+    pages_to_sim_gb,
+    sim_gb_to_pages,
+)
+from repro.cbf import (
+    BlockedCountingBloomFilter,
+    CountingBloomFilter,
+    ExactFrequencyTracker,
+    SampleCoalescer,
+)
+from repro.core import (
+    ExperimentConfig,
+    ExperimentResult,
+    SimulationEngine,
+    compare_policies,
+    run_all_local,
+    run_experiment,
+    sweep,
+)
+from repro.memsim import (
+    CXL1_CONFIG,
+    CXL2_CONFIG,
+    LOCAL_DRAM,
+    Machine,
+    MachineConfig,
+    TieredMemoryConfig,
+    TierSpec,
+)
+from repro.policies import (
+    AllLocal,
+    AutoNUMA,
+    FreqTier,
+    FreqTierConfig,
+    HeMem,
+    HybridTier,
+    MultiClock,
+    StaticNoMigration,
+    TPP,
+)
+from repro.workloads import (
+    CacheLibWorkload,
+    CDN_PROFILE,
+    GapWorkload,
+    SOCIAL_PROFILE,
+    SyntheticZipfWorkload,
+    XGBoostWorkload,
+    ZipfianSampler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllLocal",
+    "AutoNUMA",
+    "BlockedCountingBloomFilter",
+    "CacheLibWorkload",
+    "CDN_PROFILE",
+    "CountingBloomFilter",
+    "CXL1_CONFIG",
+    "CXL2_CONFIG",
+    "ExactFrequencyTracker",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FreqTier",
+    "FreqTierConfig",
+    "GapWorkload",
+    "GiB",
+    "HeMem",
+    "HybridTier",
+    "KiB",
+    "LOCAL_DRAM",
+    "Machine",
+    "MachineConfig",
+    "MiB",
+    "MultiClock",
+    "PAGE_SIZE",
+    "PAGES_PER_SIM_GB",
+    "SampleCoalescer",
+    "SCALE_FACTOR",
+    "SimulationEngine",
+    "SOCIAL_PROFILE",
+    "StaticNoMigration",
+    "SyntheticZipfWorkload",
+    "TieredMemoryConfig",
+    "TierSpec",
+    "TPP",
+    "XGBoostWorkload",
+    "ZipfianSampler",
+    "compare_policies",
+    "pages_to_sim_gb",
+    "run_all_local",
+    "run_experiment",
+    "sim_gb_to_pages",
+    "sweep",
+]

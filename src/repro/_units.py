@@ -1,0 +1,57 @@
+"""Units and scaling conventions shared across the simulator.
+
+The paper evaluates workloads with footprints of 248--335 GB on machines
+with 16--64 GB of local DRAM.  A Python, page-granular simulation cannot
+hold billions of page records, so the whole reproduction runs at a
+uniform ``SCALE_FACTOR`` footprint reduction: one *simulated* GB is
+``PAGES_PER_SIM_GB`` model pages of ``PAGE_SIZE`` bytes.
+
+Capacity *ratios* (1:8, 1:16, 1:32 local:CXL), watermark fractions, CBF
+sizing rules and sampling rates are preserved exactly; only the absolute
+page counts shrink.  Helper functions convert between the paper's
+nominal sizes and simulated page counts so benchmark output can report
+the paper's nominal figures.
+"""
+
+from __future__ import annotations
+
+#: Size of one model page in bytes (the smallest migration granularity
+#: supported by Linux ``move_pages``, per the paper Section III).
+PAGE_SIZE: int = 4096
+
+#: Bytes in one (real) GiB.
+GiB: int = 1 << 30
+
+#: Bytes in one (real) MiB.
+MiB: int = 1 << 20
+
+#: Bytes in one (real) KiB.
+KiB: int = 1 << 10
+
+#: Footprint reduction of the simulation relative to the paper's setup.
+#: 1024x means the paper's 16 GB local DRAM becomes 16 "sim-GB" =
+#: 4096 model pages.
+SCALE_FACTOR: int = 1024
+
+#: Model pages per simulated GB (= GiB / SCALE_FACTOR / PAGE_SIZE).
+PAGES_PER_SIM_GB: int = GiB // SCALE_FACTOR // PAGE_SIZE
+
+
+def sim_gb_to_pages(gigabytes: float) -> int:
+    """Convert a paper-nominal capacity in GB to simulated page count."""
+    return int(round(gigabytes * PAGES_PER_SIM_GB))
+
+
+def pages_to_sim_gb(pages: int) -> float:
+    """Convert a simulated page count back to paper-nominal GB."""
+    return pages / PAGES_PER_SIM_GB
+
+
+def pages_to_bytes(pages: int) -> int:
+    """Size in (simulated) bytes of ``pages`` model pages."""
+    return pages * PAGE_SIZE
+
+
+def bytes_to_pages(n_bytes: int) -> int:
+    """Number of whole model pages covering ``n_bytes`` (ceiling)."""
+    return -(-n_bytes // PAGE_SIZE)

@@ -1,0 +1,27 @@
+"""Analysis helpers for the paper's figures.
+
+- :mod:`~repro.analysis.distributions` -- frequency CDFs from CBF
+  counter histograms (Fig. 14).
+- :mod:`~repro.analysis.timeline` -- windowed hit-ratio / latency
+  timelines from experiment results (Fig. 11).
+- :mod:`~repro.analysis.tables` -- text table formatting matching the
+  paper's layout.
+"""
+
+from repro.analysis.distributions import frequency_cdf, saturated_fraction
+from repro.analysis.tables import format_comparison_table, format_rows
+from repro.analysis.timeline import (
+    detection_delay,
+    resample_timeline,
+    timeline_stability,
+)
+
+__all__ = [
+    "detection_delay",
+    "format_comparison_table",
+    "format_rows",
+    "frequency_cdf",
+    "resample_timeline",
+    "saturated_fraction",
+    "timeline_stability",
+]

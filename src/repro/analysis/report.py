@@ -1,0 +1,100 @@
+"""Markdown experiment reports.
+
+Turns a ``compare_policies`` result dict into a self-contained
+markdown report: comparison table, %all-local columns, traffic
+breakdown, hit-ratio sparklines and policy-overhead summary.  Used by
+``python -m repro.cli compare --report out.md`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.charts import sparkline
+from repro.analysis.timeline import resample_timeline
+from repro.core.metrics import ExperimentResult
+
+
+def _fmt(value: float | None, spec: str = "{:.3g}") -> str:
+    return "-" if value is None else spec.format(value)
+
+
+def markdown_report(
+    results: dict[str, ExperimentResult],
+    title: str = "Tiering comparison",
+    baseline_name: str = "AllLocal",
+) -> str:
+    """Render a full markdown report for one experiment cell."""
+    if not results:
+        raise ValueError("results must not be empty")
+    baseline = results.get(baseline_name)
+    lines: list[str] = [f"# {title}", ""]
+
+    # Headline table.
+    lines += [
+        "| system | P50 (µs) | throughput (Mop/s) | hit ratio | "
+        "%all-local (thr) | pages migrated |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, res in results.items():
+        summary = res.summary()
+        rel = None
+        if baseline is not None and name != baseline_name:
+            rel = res.relative_to(baseline)["throughput"]
+        lines.append(
+            "| {} | {} | {} | {} | {} | {} |".format(
+                name,
+                _fmt(summary["p50_latency_us"]),
+                _fmt(summary["throughput_mops"]),
+                _fmt(summary["hit_ratio"], "{:.1%}"),
+                _fmt(rel, "{:.1%}"),
+                res.pages_migrated,
+            )
+        )
+    lines.append("")
+
+    # Traffic breakdown.
+    lines += [
+        "## Traffic breakdown",
+        "",
+        "| system | local | cxl | migration |",
+        "|---|---|---|---|",
+    ]
+    for name, res in results.items():
+        b = res.traffic_breakdown
+        lines.append(
+            "| {} | {:.1%} | {:.1%} | {:.1%} |".format(
+                name,
+                b.get("local", 0.0),
+                b.get("cxl", 0.0),
+                b.get("migration", 0.0),
+            )
+        )
+    lines.append("")
+
+    # Hit-ratio timelines as sparklines.
+    lines += ["## Hit-ratio timelines", "", "```"]
+    width = max(len(name) for name in results)
+    for name, res in results.items():
+        series = [v for __, v in resample_timeline(res.hit_ratio_timeline, 50)]
+        lines.append(f"{name.ljust(width)}  {sparkline(series, lo=0.0, hi=1.0)}")
+    lines += ["```", ""]
+
+    # Policy internals.
+    lines += [
+        "## Policy internals",
+        "",
+        "| system | promotions | demotions | overhead (ms) | metadata (KB) |",
+        "|---|---|---|---|---|",
+    ]
+    for name, res in results.items():
+        stats = res.policy_stats
+        lines.append(
+            "| {} | {} | {} | {:.2f} | {:.0f} |".format(
+                name,
+                int(stats.get("promotions", 0)),
+                int(stats.get("demotions", 0)),
+                stats.get("overhead_ns", 0.0) / 1e6,
+                stats.get("metadata_bytes", 0.0) / 1024,
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)

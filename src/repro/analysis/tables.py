@@ -1,0 +1,65 @@
+"""Plain-text table formatting in the paper's layout."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_rows(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table (no external deps)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_comparison_table(
+    results: dict[str, object],
+    metric_key: str = "throughput",
+    baseline_name: str = "AllLocal",
+) -> str:
+    """Render a compare_policies() result like a paper table row block.
+
+    Each row: policy, P50 latency (us), throughput (Mop/s), hit ratio,
+    and %all-local for the chosen metric.
+    """
+    baseline = results.get(baseline_name)
+    headers = [
+        "policy",
+        "p50_us",
+        "mops",
+        "hit_ratio",
+        f"%all-local({metric_key})",
+    ]
+    rows = []
+    for name, res in results.items():
+        summary = res.summary()
+        rel = None
+        if baseline is not None and name != baseline_name:
+            rel = res.relative_to(baseline).get(metric_key)
+        rows.append(
+            [
+                name,
+                summary["p50_latency_us"],
+                summary["throughput_mops"],
+                summary["hit_ratio"],
+                f"{rel:.1%}" if rel is not None else "-",
+            ]
+        )
+    return format_rows(headers, rows)

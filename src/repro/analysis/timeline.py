@@ -1,0 +1,48 @@
+"""Timeline utilities (paper Fig. 11 and stability analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resample_timeline(
+    timeline: list[tuple[float, float]],
+    num_points: int = 50,
+) -> list[tuple[float, float]]:
+    """Average a (time, value) series into ``num_points`` even windows."""
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    if not timeline:
+        return []
+    times = np.array([t for t, __ in timeline])
+    values = np.array([v for __, v in timeline])
+    edges = np.linspace(times.min(), times.max(), num_points + 1)
+    out: list[tuple[float, float]] = []
+    for i in range(num_points):
+        mask = (times >= edges[i]) & (times <= edges[i + 1])
+        if mask.any():
+            out.append((float(edges[i + 1]), float(values[mask].mean())))
+    return out
+
+
+def timeline_stability(
+    timeline: list[tuple[float, float]], window: int = 4
+) -> float:
+    """Max peak-to-peak spread of the last ``window`` timeline values."""
+    if len(timeline) < 2:
+        return 0.0
+    values = [v for __, v in timeline[-window:]]
+    return float(max(values) - min(values))
+
+
+def detection_delay(
+    timeline: list[tuple[float, float]],
+    change_time_ns: float,
+    recovery_value: float,
+) -> float | None:
+    """Time from ``change_time_ns`` until the series re-reaches
+    ``recovery_value`` (Fig. 11's adaptation latency); None if never."""
+    for t, v in timeline:
+        if t >= change_time_ns and v >= recovery_value:
+            return t - change_time_ns
+    return None

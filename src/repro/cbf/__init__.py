@@ -1,0 +1,41 @@
+"""Probabilistic frequency-tracking substrate.
+
+This package implements the counting Bloom filter (CBF) family that
+FreqTier uses to track per-page access frequencies (paper Sections IV-B
+and V-A), plus the exact hash-table tracker used by HeMem and by the
+accuracy studies:
+
+- :class:`~repro.cbf.cbf.CountingBloomFilter` -- classic CBF with
+  conservative (increment-the-minimum) updates and periodic aging.
+- :class:`~repro.cbf.blocked.BlockedCountingBloomFilter` -- the blocked
+  variant where all counters for a key live in one 64-byte block
+  (paper Section V-C(b), after Caffeine).
+- :class:`~repro.cbf.coalescing.SampleCoalescer` -- batch increment
+  coalescing (paper Section V-C(c)).
+- :mod:`~repro.cbf.sizing` -- false-positive-rate math used to size the
+  filter for a target FPR (paper Section V-A).
+- :class:`~repro.cbf.exact.ExactFrequencyTracker` -- precise per-key
+  counter table with HeMem-style per-page metadata accounting.
+"""
+
+from repro.cbf.blocked import BlockedCountingBloomFilter
+from repro.cbf.cbf import CountingBloomFilter
+from repro.cbf.coalescing import SampleCoalescer
+from repro.cbf.counters import PackedCounterArray
+from repro.cbf.exact import ExactFrequencyTracker
+from repro.cbf.sizing import (
+    counters_for_fpr,
+    false_positive_rate,
+    optimal_num_hashes,
+)
+
+__all__ = [
+    "BlockedCountingBloomFilter",
+    "CountingBloomFilter",
+    "ExactFrequencyTracker",
+    "PackedCounterArray",
+    "SampleCoalescer",
+    "counters_for_fpr",
+    "false_positive_rate",
+    "optimal_num_hashes",
+]

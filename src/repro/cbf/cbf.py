@@ -1,0 +1,205 @@
+"""Counting Bloom filter with conservative updates and aging.
+
+This is the core probabilistic frequency tracker of FreqTier (paper
+Sections IV-B and V-A).  Unlike a hash table, the CBF does not store
+keys; hash collisions are allowed and their likelihood is controlled by
+the array size.  ``GET`` returns the minimum of the ``k`` counters a key
+maps to; ``INCREMENT`` raises only the minimal counters (conservative
+update, which provably never undercounts and reduces overcounting).
+
+Aging divides every counter by two (paper Section V-A, after TinyLFU
+and HeMem) to keep frequencies fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cbf.counters import PackedCounterArray
+from repro.cbf.hashing import derive_indices
+
+
+@dataclass
+class CBFStats:
+    """Operation counters for overhead accounting and the coalescing study."""
+
+    gets: int = 0
+    increments: int = 0
+    #: Individual counter-slot touches (the metric the coalescing
+    #: optimization reduces by ~4x, paper Section V-C(c)).
+    slot_accesses: int = 0
+    agings: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "gets": self.gets,
+            "increments": self.increments,
+            "slot_accesses": self.slot_accesses,
+            "agings": self.agings,
+        }
+
+
+class CountingBloomFilter:
+    """Classic counting Bloom filter over 64-bit keys (page ids).
+
+    Parameters
+    ----------
+    num_counters:
+        Size of the counter array (``N`` in the paper).
+    num_hashes:
+        Number of hash functions (``k`` in the paper, default 3 as in
+        the paper's Figure 5 example).
+    bits:
+        Counter width; the paper defaults to 4 bits (max count 15).
+    seed:
+        Hash-family seed; distinct seeds give independent filters.
+    aging_interval:
+        If set, every ``aging_interval`` increment operations all
+        counters are halved automatically.  ``None`` leaves aging to
+        explicit :meth:`age` calls (FreqTier's policy layer drives it).
+    """
+
+    def __init__(
+        self,
+        num_counters: int,
+        num_hashes: int = 3,
+        bits: int = 4,
+        seed: int = 0,
+        aging_interval: int | None = None,
+    ):
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        if aging_interval is not None and aging_interval < 1:
+            raise ValueError(f"aging_interval must be >= 1, got {aging_interval}")
+        self.num_counters = int(num_counters)
+        self.num_hashes = int(num_hashes)
+        self.bits = int(bits)
+        self.seed = int(seed)
+        self.aging_interval = aging_interval
+        self._counters = PackedCounterArray(self.num_counters, bits=bits)
+        self._since_aging = 0
+        self.stats = CBFStats()
+
+    # -- sizing / introspection ----------------------------------------
+
+    @property
+    def max_count(self) -> int:
+        """Largest representable frequency (``2**bits - 1``)."""
+        return self._counters.max_value
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the counter array in bytes."""
+        return self._counters.nbytes
+
+    # -- key -> slot mapping --------------------------------------------
+
+    def _indices(self, keys: np.ndarray) -> np.ndarray:
+        """Shape (len(keys), k) slot indices; subclasses override."""
+        return derive_indices(
+            keys, self.num_hashes, self.num_counters, seed=self.seed
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, keys: np.ndarray | int) -> np.ndarray | int:
+        """Estimated frequency for each key (min over its ``k`` counters)."""
+        scalar = np.isscalar(keys)
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        idx = self._indices(arr)
+        values = self._counters.get(idx).min(axis=1)
+        self.stats.gets += len(arr)
+        self.stats.slot_accesses += idx.size
+        return int(values[0]) if scalar else values
+
+    # -- updates ----------------------------------------------------------
+
+    def increment(self, keys: np.ndarray | int) -> np.ndarray:
+        """Record one access per key; returns the new estimated frequencies.
+
+        Equivalent to ``increase(keys, 1)`` for unique keys.  Duplicate
+        keys in one call are processed as separate accesses.
+        """
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        return self.increase(arr, np.ones(len(arr), dtype=np.int64))
+
+    def increase(
+        self, keys: np.ndarray, amounts: np.ndarray | int
+    ) -> np.ndarray:
+        """Conservative bulk update: add ``amounts[i]`` accesses to key ``i``.
+
+        This is the ``increase_frequency(page, amount)`` primitive that
+        increment coalescing targets (paper Section V-C(c)).  Returns
+        the new estimated frequency of each key.
+        """
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        amt = np.broadcast_to(
+            np.asarray(amounts, dtype=np.int64), arr.shape
+        ).copy()
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Coalesce duplicate keys within the call so conservative update
+        # semantics hold for the aggregate amount.
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        totals = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(totals, inverse, amt)
+
+        idx = self._indices(uniq)  # (u, k)
+        current = self._counters.get(idx)  # (u, k)
+        mins = current.min(axis=1, keepdims=True)
+        target = np.minimum(mins + totals[:, None], self.max_count)
+        # Conservative update: only counters below the new target rise
+        # to it; larger counters (inflated by other keys) are untouched.
+        rows, cols = np.nonzero(current < target)
+        if rows.size:
+            flat_idx = idx[rows, cols]
+            flat_target = np.broadcast_to(target, current.shape)[rows, cols]
+            # Multiple keys may share a slot within this batch; keep the
+            # maximum target per slot (never undercount).
+            order = np.argsort(flat_target, kind="stable")
+            self._counters.set(flat_idx[order], flat_target[order])
+
+        self.stats.increments += int(amt.sum())
+        self.stats.slot_accesses += idx.size * 2  # read + write pass
+
+        self._since_aging += int(amt.sum())
+        if (
+            self.aging_interval is not None
+            and self._since_aging >= self.aging_interval
+        ):
+            self.age()
+
+        result = np.minimum(
+            self._counters.get(self._indices(arr)).min(axis=1), self.max_count
+        )
+        return result
+
+    def age(self) -> None:
+        """Halve all counters (keeps frequencies fresh, paper Section V-A)."""
+        self._counters.halve_all()
+        self._since_aging = 0
+        self.stats.agings += 1
+
+    def clear(self) -> None:
+        """Reset every counter to zero."""
+        self._counters = PackedCounterArray(self.num_counters, bits=self.bits)
+        self._since_aging = 0
+
+    # -- analysis helpers --------------------------------------------------
+
+    def counter_histogram(self) -> np.ndarray:
+        """Histogram of raw counter values, length ``max_count + 1``.
+
+        Used to reproduce the paper's Figure 14 frequency CDF.
+        """
+        values = self._counters.to_array()
+        return np.bincount(values, minlength=self.max_count + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(num_counters={self.num_counters}, "
+            f"num_hashes={self.num_hashes}, bits={self.bits}, "
+            f"nbytes={self.nbytes})"
+        )

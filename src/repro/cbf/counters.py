@@ -1,0 +1,151 @@
+"""Packed n-bit saturating counter array.
+
+The paper allocates 4 bits per CBF counter by default (Section V-A), so
+two counters share each byte.  This module implements a genuinely
+bit-packed counter array with vectorized gather/scatter so that the
+CBF's modeled memory footprint equals its actual backing-store size.
+
+Supported widths are 1, 2, 4, 8 and 16 bits.  Counters saturate at
+``2**bits - 1``; the paper treats all pages at the cap as equally hot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SUPPORTED_BITS = (1, 2, 4, 8, 16)
+
+
+class PackedCounterArray:
+    """Fixed-size array of ``bits``-wide saturating unsigned counters."""
+
+    def __init__(self, size: int, bits: int = 4):
+        if bits not in _SUPPORTED_BITS:
+            raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = int(size)
+        self.bits = int(bits)
+        self.max_value = (1 << bits) - 1
+        if bits == 8:
+            self._store = np.zeros(size, dtype=np.uint8)
+            self._per_byte = 1
+        elif bits == 16:
+            self._store = np.zeros(size, dtype=np.uint16)
+            self._per_byte = 1
+        else:
+            self._per_byte = 8 // bits
+            n_bytes = -(-size // self._per_byte)
+            self._store = np.zeros(n_bytes, dtype=np.uint8)
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Actual backing-store size in bytes."""
+        return int(self._store.nbytes)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- element access -----------------------------------------------
+
+    def get(self, indices: np.ndarray) -> np.ndarray:
+        """Gather counter values at ``indices`` (any shape)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self._check_bounds(idx)
+        if self.bits in (8, 16):
+            return self._store[idx].astype(np.int64)
+        byte_idx = idx // self._per_byte
+        shift = ((idx % self._per_byte) * self.bits).astype(np.uint8)
+        mask = np.uint8(self.max_value)
+        return ((self._store[byte_idx] >> shift) & mask).astype(np.int64)
+
+    def set(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Scatter ``values`` (clamped to the counter range) at ``indices``.
+
+        If an index repeats, the last write wins (numpy scatter order).
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        self._check_bounds(idx)
+        vals = np.clip(np.asarray(values, dtype=np.int64).ravel(), 0, self.max_value)
+        if self.bits == 8:
+            self._store[idx] = vals.astype(np.uint8)
+            return
+        if self.bits == 16:
+            self._store[idx] = vals.astype(np.uint16)
+            return
+        # Sub-byte widths: counters sharing a byte must not clobber
+        # each other, so scatter one in-byte position per pass (two
+        # different indices can only collide on a byte if their in-byte
+        # positions differ).
+        positions = idx % self._per_byte
+        mask = np.uint8(self.max_value)
+        for pos in range(self._per_byte):
+            sel = positions == pos
+            if not sel.any():
+                continue
+            byte_idx = idx[sel] // self._per_byte
+            shift = np.uint8(pos * self.bits)
+            cleared = self._store[byte_idx] & np.uint8(~(int(mask) << shift) & 0xFF)
+            self._store[byte_idx] = cleared | (
+                vals[sel].astype(np.uint8) << shift
+            )
+
+    def add_saturating(self, indices: np.ndarray, amounts: np.ndarray) -> None:
+        """Add ``amounts`` to counters at ``indices``, saturating at the cap.
+
+        Duplicate indices within one call are accumulated (unlike
+        :meth:`set`), matching the semantics of repeated increments.
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        self._check_bounds(idx)
+        amt = np.asarray(amounts, dtype=np.int64).ravel()
+        if amt.shape != idx.shape:
+            amt = np.broadcast_to(amt, idx.shape)
+        # Accumulate duplicates first so saturation applies to the total.
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        totals = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(totals, inverse, amt)
+        current = self.get(uniq)
+        self.set(uniq, np.minimum(current + totals, self.max_value))
+
+    def halve_all(self) -> None:
+        """Divide every counter by two (the paper's aging step)."""
+        if self.bits in (8, 16):
+            self._store >>= 1
+            return
+        if self.bits == 4:
+            # Halve both nibbles of each byte in place:
+            # (b >> 1) keeps bit3 of the low nibble leaking? No:
+            # low' = (low >> 1), high' = (high >> 1); (b >> 1) & 0x77
+            # clears the bit that would leak from high nibble into low.
+            self._store = (self._store >> np.uint8(1)) & np.uint8(0x77)
+            return
+        if self.bits == 2:
+            self._store = (self._store >> np.uint8(1)) & np.uint8(0x55)
+            return
+        # bits == 1: halving a 1-bit counter zeroes it.
+        self._store[:] = 0
+
+    def to_array(self) -> np.ndarray:
+        """Unpacked copy of all counters as int64 (for tests/analysis)."""
+        return self.get(np.arange(self.size, dtype=np.int64))
+
+    def fill(self, value: int) -> None:
+        """Set every counter to ``value`` (clamped)."""
+        self.set(
+            np.arange(self.size, dtype=np.int64),
+            np.full(self.size, value, dtype=np.int64),
+        )
+
+    # -- internal -------------------------------------------------------
+
+    def _check_bounds(self, idx: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        lo, hi = int(idx.min()), int(idx.max())
+        if lo < 0 or hi >= self.size:
+            raise IndexError(
+                f"counter index out of range [0, {self.size}): min={lo} max={hi}"
+            )

@@ -1,0 +1,60 @@
+"""Bloom-filter sizing math (paper Section V-A).
+
+FreqTier sizes its CBF "large enough to store all pages in local DRAM
+while achieving a false positive rate of 1e-3", citing the standard
+Broder--Mitzenmacher survey formulas.  This module provides those
+formulas and the solver FreqTier's config layer uses:
+
+- ``false_positive_rate(m, n, k)`` -- classic FPR approximation
+  ``(1 - e^{-kn/m})^k``.
+- ``optimal_num_hashes(m, n)`` -- ``k* = (m/n) ln 2``.
+- ``counters_for_fpr(n, fpr, k)`` -- smallest ``m`` meeting the target.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def false_positive_rate(num_counters: int, num_keys: int, num_hashes: int) -> float:
+    """Approximate FPR of a Bloom filter with ``m`` slots, ``n`` keys, ``k`` hashes."""
+    if num_counters <= 0:
+        raise ValueError(f"num_counters must be > 0, got {num_counters}")
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be > 0, got {num_hashes}")
+    if num_keys <= 0:
+        return 0.0
+    exponent = -num_hashes * num_keys / num_counters
+    return (1.0 - math.exp(exponent)) ** num_hashes
+
+
+def optimal_num_hashes(num_counters: int, num_keys: int) -> int:
+    """FPR-optimal hash count ``k* = (m/n) ln 2``, at least 1."""
+    if num_counters <= 0 or num_keys <= 0:
+        raise ValueError("num_counters and num_keys must be > 0")
+    return max(1, round((num_counters / num_keys) * math.log(2)))
+
+
+def counters_for_fpr(num_keys: int, target_fpr: float, num_hashes: int) -> int:
+    """Smallest counter count ``m`` with FPR <= ``target_fpr`` for ``n`` keys.
+
+    Solves ``(1 - e^{-kn/m})^k <= p`` for ``m``:
+    ``m >= -k n / ln(1 - p^{1/k})``.
+    """
+    if not 0.0 < target_fpr < 1.0:
+        raise ValueError(f"target_fpr must be in (0, 1), got {target_fpr}")
+    if num_keys <= 0:
+        raise ValueError(f"num_keys must be > 0, got {num_keys}")
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be > 0, got {num_hashes}")
+    base = 1.0 - target_fpr ** (1.0 / num_hashes)
+    m = -num_hashes * num_keys / math.log(base)
+    return max(num_hashes, math.ceil(m))
+
+
+def cbf_bytes_for_fpr(
+    num_keys: int, target_fpr: float, num_hashes: int, bits: int = 4
+) -> int:
+    """Memory in bytes of a CBF sized for ``num_keys`` at ``target_fpr``."""
+    m = counters_for_fpr(num_keys, target_fpr, num_hashes)
+    return -(-m * bits // 8)

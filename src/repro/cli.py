@@ -1,0 +1,346 @@
+"""Command-line interface for running tiering experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run --workload cdn --policy freqtier \
+        --local-fraction 0.06 --ratio 1:32 --batches 300
+    python -m repro.cli compare --workload social --ratio 1:16 \
+        --local-fraction 0.12
+    python -m repro.cli sweep --workload cdn --policy freqtier \
+        --fractions 0.03,0.06,0.12,0.24
+
+Outputs a human-readable table by default; ``--json`` emits
+machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Callable
+
+from repro.analysis.tables import format_comparison_table, format_rows
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import ExperimentResult
+from repro.core.runner import compare_policies, run_all_local, run_experiment
+from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
+from repro.policies import (
+    AutoNUMA,
+    DAMONRegion,
+    FreqTier,
+    HeMem,
+    MultiClock,
+    StaticNoMigration,
+    TPP,
+)
+from repro.workloads import (
+    CacheLibWorkload,
+    CDN_PROFILE,
+    GapWorkload,
+    SOCIAL_PROFILE,
+    SyntheticZipfWorkload,
+    XGBoostWorkload,
+)
+
+
+def _workload_registry(seed: int) -> dict[str, Callable]:
+    return {
+        "cdn": lambda: CacheLibWorkload(
+            CDN_PROFILE, slab_pages=16_384, ops_per_batch=10_000, seed=seed
+        ),
+        "social": lambda: CacheLibWorkload(
+            SOCIAL_PROFILE, slab_pages=16_384, ops_per_batch=10_000, seed=seed
+        ),
+        "gap-bfs": lambda: GapWorkload("bfs", scale=18, num_trials=6, seed=seed),
+        "gap-cc": lambda: GapWorkload("cc", scale=18, num_trials=6, seed=seed),
+        "gap-bc": lambda: GapWorkload("bc", scale=18, num_trials=6, seed=seed),
+        "gap-pr": lambda: GapWorkload("pr", scale=18, num_trials=4, seed=seed),
+        "xgboost": lambda: XGBoostWorkload(num_rounds=80, seed=seed),
+        "zipf": lambda: SyntheticZipfWorkload(
+            num_pages=16_384, alpha=1.2, seed=seed
+        ),
+    }
+
+
+def _policy_registry(seed: int) -> dict[str, Callable]:
+    return {
+        "freqtier": lambda: FreqTier(seed=seed),
+        "hybridtier": lambda: FreqTier(seed=seed),
+        "autonuma": lambda: AutoNUMA(seed=seed),
+        "tpp": lambda: TPP(seed=seed),
+        "hemem": lambda: HeMem(seed=seed),
+        "multiclock": lambda: MultiClock(seed=seed),
+        "damon": lambda: DAMONRegion(seed=seed),
+        "static": lambda: StaticNoMigration(),
+    }
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    memory = CXL2_CONFIG if args.cxl == 2 else CXL1_CONFIG
+    return ExperimentConfig(
+        local_fraction=args.local_fraction,
+        ratio_label=args.ratio,
+        memory=memory,
+        max_batches=args.batches,
+        seed=args.seed,
+    )
+
+
+def _result_dict(result: ExperimentResult) -> dict:
+    summary = result.summary()
+    summary["total_time_ms"] = result.total_time_ns / 1e6
+    summary["mean_time_per_label_ms"] = (
+        result.mean_time_per_label_ns() / 1e6
+        if result.mean_time_per_label_ns()
+        else None
+    )
+    return summary
+
+
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", required=True)
+    parser.add_argument("--local-fraction", type=float, default=0.06)
+    parser.add_argument("--ratio", default="1:32")
+    parser.add_argument(
+        "--cxl", type=int, choices=(1, 2), default=1, help="CXL device config"
+    )
+    parser.add_argument("--batches", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    workloads = sorted(_workload_registry(0))
+    policies = sorted(_policy_registry(0))
+    if args.json:
+        print(json.dumps({"workloads": workloads, "policies": policies}))
+    else:
+        print("workloads: " + ", ".join(workloads))
+        print("policies:  " + ", ".join(policies))
+    return 0
+
+
+def _lookup(registry: dict[str, Callable], name: str, kind: str) -> Callable:
+    try:
+        return registry[name]
+    except KeyError:
+        valid = ", ".join(sorted(registry))
+        raise SystemExit(f"unknown {kind} {name!r}; choose from: {valid}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
+    policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
+    config = _config_from_args(args)
+    max_batches = None if args.batches <= 0 else args.batches
+    config.max_batches = max_batches
+    result = run_experiment(workload, policy, config)
+    payload = _result_dict(result)
+    if args.baseline:
+        base = run_all_local(workload, config)
+        rel = result.relative_to(base)
+        payload["pct_all_local_throughput"] = rel["throughput"]
+        payload["pct_all_local_p50"] = rel["p50_latency"]
+        payload["pct_all_local_label_time"] = rel["label_time"]
+    if args.json:
+        print(json.dumps(payload, default=str))
+    else:
+        rows = [[k, v] for k, v in payload.items()]
+        print(format_rows(["metric", "value"], rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
+    registry = _policy_registry(args.seed)
+    names = (
+        [n.strip() for n in args.policies.split(",")]
+        if args.policies
+        else ["freqtier", "autonuma", "tpp", "hemem"]
+    )
+    policies = {name: _lookup(registry, name, "policy") for name in names}
+    config = _config_from_args(args)
+    config.max_batches = None if args.batches <= 0 else args.batches
+    results = compare_policies(workload, policies, config)
+    if args.report:
+        from repro.analysis.report import markdown_report
+
+        with open(args.report, "w") as fh:
+            fh.write(
+                markdown_report(
+                    results,
+                    title=f"{args.workload} @ {args.ratio} "
+                    f"({args.local_fraction:.0%} local)",
+                )
+            )
+        print(f"report written to {args.report}")
+    if args.json:
+        print(
+            json.dumps(
+                {name: _result_dict(res) for name, res in results.items()},
+                default=str,
+            )
+        )
+    else:
+        print(format_comparison_table(results))
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Capture a workload's access stream to a replayable .npz file."""
+    from repro.workloads.traceio import save_trace
+
+    workload_factory = _lookup(
+        _workload_registry(args.seed), args.workload, "workload"
+    )
+    workload = workload_factory()
+    config = _config_from_args(args)
+    from repro.core.runner import build_machine
+
+    machine = build_machine(workload.footprint_pages, config)
+    workload.setup(machine)
+    count = save_trace(
+        args.out,
+        workload.batches(),
+        workload.footprint_pages,
+        max_batches=args.batches if args.batches > 0 else None,
+    )
+    payload = {
+        "path": args.out,
+        "batches": count,
+        "footprint_pages": workload.footprint_pages,
+    }
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(f"recorded {count} batches to {args.out}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Run a policy over a previously recorded trace file."""
+    from repro.workloads.traceio import TraceFileWorkload
+
+    policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
+    config = _config_from_args(args)
+    config.max_batches = None if args.batches <= 0 else args.batches
+    result = run_experiment(
+        lambda: TraceFileWorkload(args.trace), policy, config
+    )
+    payload = _result_dict(result)
+    if args.json:
+        print(json.dumps(payload, default=str))
+    else:
+        print(format_rows(["metric", "value"], [[k, v] for k, v in payload.items()]))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
+    policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
+    fractions = [float(f) for f in args.fractions.split(",")]
+    rows = []
+    payload = {}
+    for frac in fractions:
+        config = ExperimentConfig(
+            local_fraction=frac,
+            ratio_label=args.ratio,
+            memory=CXL2_CONFIG if args.cxl == 2 else CXL1_CONFIG,
+            max_batches=None if args.batches <= 0 else args.batches,
+            seed=args.seed,
+        )
+        result = run_experiment(workload, policy, config)
+        base = run_all_local(workload, config)
+        rel = result.relative_to(base)["throughput"]
+        rows.append(
+            [
+                f"{frac:.2%}",
+                f"{rel:.1%}" if rel else "-",
+                f"{result.steady_hit_ratio:.1%}",
+                result.pages_migrated,
+            ]
+        )
+        payload[str(frac)] = _result_dict(result)
+    if args.json:
+        print(json.dumps(payload, default=str))
+    else:
+        print(
+            format_rows(
+                ["%local", "%all-local thr", "hit ratio", "migrated"], rows
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="FreqTier/HybridTier experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads and policies")
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment cell")
+    _add_common_args(p_run)
+    p_run.add_argument("--policy", required=True)
+    p_run.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the all-local baseline and report %%all-local",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare several policies")
+    _add_common_args(p_cmp)
+    p_cmp.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy names (default: the paper line-up)",
+    )
+    p_cmp.add_argument(
+        "--report", default=None, help="also write a markdown report here"
+    )
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="sweep local DRAM fractions")
+    _add_common_args(p_sweep)
+    p_sweep.add_argument("--policy", required=True)
+    p_sweep.add_argument(
+        "--fractions",
+        default="0.03,0.06,0.12,0.24",
+        help="comma-separated local fractions",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_rec = sub.add_parser("record", help="record a workload trace to .npz")
+    _add_common_args(p_rec)
+    p_rec.add_argument("--out", required=True, help="output .npz path")
+    p_rec.set_defaults(func=cmd_record)
+
+    p_rep = sub.add_parser("replay", help="replay a recorded trace")
+    p_rep.add_argument("--trace", required=True, help=".npz trace path")
+    p_rep.add_argument("--policy", required=True)
+    p_rep.add_argument("--local-fraction", type=float, default=0.06)
+    p_rep.add_argument("--ratio", default="1:32")
+    p_rep.add_argument("--cxl", type=int, choices=(1, 2), default=1)
+    p_rep.add_argument("--batches", type=int, default=0)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("--json", action="store_true")
+    p_rep.set_defaults(func=cmd_replay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # `sweep`/`compare` reuse the common --local-fraction even when
+    # unused; argparse guarantees presence.
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

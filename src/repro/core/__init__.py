@@ -1,0 +1,34 @@
+"""Experiment engine: drives workload traces through machine + policy.
+
+- :class:`~repro.core.engine.SimulationEngine` -- the event loop.
+- :class:`~repro.core.metrics.ExperimentResult` -- everything the
+  paper's tables report (P50 latency, throughput, hit ratio, traffic
+  breakdown, per-trial runtimes, %all-local).
+- :mod:`~repro.core.runner` -- one-call experiment facade used by the
+  examples and every benchmark.
+"""
+
+from repro.core.config import ExperimentConfig, ratio_to_cxl_multiple
+from repro.core.engine import SimulationEngine
+from repro.core.metrics import BatchRecord, ExperimentResult, MetricsCollector
+from repro.core.runner import (
+    build_machine,
+    compare_policies,
+    run_all_local,
+    run_experiment,
+)
+from repro.core.sweep import sweep
+
+__all__ = [
+    "BatchRecord",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MetricsCollector",
+    "SimulationEngine",
+    "build_machine",
+    "compare_policies",
+    "ratio_to_cxl_multiple",
+    "run_all_local",
+    "run_experiment",
+    "sweep",
+]

@@ -1,0 +1,65 @@
+"""Experiment configuration.
+
+The paper parameterizes every experiment by (workload, tiering system,
+local:CXL capacity ratio, CXL device).  ``ExperimentConfig`` carries
+the same axes plus simulation-length limits.
+
+Capacity convention: the paper quotes both a ratio ("1:32") and a
+``%local`` column (local DRAM as a fraction of the workload
+footprint); the two are linked through the fixed CXL capacity of the
+testbed.  The simulator sizes machines from ``local_fraction`` x
+footprint and gives CXL enough capacity to hold the ratio and the
+spill (see :func:`repro.core.runner.build_machine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.tier import CXL1_CONFIG, TieredMemoryConfig
+
+
+def ratio_to_cxl_multiple(ratio_label: str) -> int:
+    """Parse '1:N' into N (the CXL:local capacity multiple)."""
+    parts = ratio_label.split(":")
+    if len(parts) != 2 or parts[0] != "1":
+        raise ValueError(f"ratio label must look like '1:N', got {ratio_label!r}")
+    n = int(parts[1])
+    if n < 1:
+        raise ValueError(f"CXL multiple must be >= 1, got {n}")
+    return n
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment cell (a row x column of a paper table)."""
+
+    #: Local DRAM capacity as a fraction of the workload footprint
+    #: (the paper's %local column).
+    local_fraction: float
+    #: Capacity ratio label, e.g. "1:32" (paper's Config column).
+    ratio_label: str = "1:32"
+    memory: TieredMemoryConfig = field(default_factory=lambda: CXL1_CONFIG)
+    #: Stop after this many workload batches (None = trace length).
+    max_batches: int | None = 300
+    #: Stop after this many accesses (None = unlimited).
+    max_accesses: int | None = None
+    #: Leading fraction of simulated time excluded from steady-state
+    #: metrics (the paper discards warmup trials similarly).
+    warmup_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.local_fraction <= 1.5:
+            raise ValueError(
+                f"local_fraction must be in (0, 1.5], got {self.local_fraction}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        ratio_to_cxl_multiple(self.ratio_label)  # validate format
+
+    @property
+    def cxl_multiple(self) -> int:
+        return ratio_to_cxl_multiple(self.ratio_label)

@@ -1,0 +1,108 @@
+"""The simulation event loop.
+
+Order of operations per batch (mirrors how the real system overlaps):
+
+1. Placement of every accessed page is read *before* this batch's
+   migrations: accesses during the batch were serviced by wherever the
+   pages lived when touched.
+2. The policy observes the batch (via its samplers) and may migrate.
+3. The cost model converts the batch's activity -- compute, per-tier
+   accesses, migration volume, policy overhead -- into simulated time.
+
+Virtual time only; nothing depends on the wall clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import MetricsCollector
+from repro.memsim.machine import Machine
+from repro.memsim.pagetable import LOCAL_TIER
+from repro.policies.base import TieringPolicy
+from repro.workloads.spec import Workload
+
+
+class SimulationEngine:
+    """Drives one (machine, workload, policy) experiment."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        workload: Workload,
+        policy: TieringPolicy,
+    ):
+        self.machine = machine
+        self.workload = workload
+        self.policy = policy
+        self.metrics = MetricsCollector()
+        self.now_ns = 0.0
+        self._setup_done = False
+
+    def setup(self) -> None:
+        """Attach the policy, then lay out the workload.
+
+        Policy first: systems that pin metadata in local DRAM (HeMem)
+        must reserve it before the application's pages are placed.
+        """
+        if self._setup_done:
+            return
+        self.policy.attach(self.machine)
+        self.workload.setup(self.machine)
+        self._setup_done = True
+
+    def run(
+        self,
+        max_batches: int | None = None,
+        max_accesses: int | None = None,
+        warmup_fraction: float = 0.25,
+    ):
+        """Run to a limit (or trace exhaustion); returns ExperimentResult."""
+        self.setup()
+        machine = self.machine
+        accesses_done = 0
+        batches_done = 0
+        for batch in self.workload.batches():
+            if max_batches is not None and batches_done >= max_batches:
+                break
+            if max_accesses is not None and accesses_done >= max_accesses:
+                break
+
+            tiers = machine.placement_of(batch.page_ids)
+            n_local = int(np.count_nonzero(tiers == LOCAL_TIER))
+            n_cxl = batch.num_accesses - n_local
+            machine.traffic.record_accesses(n_local, n_cxl)
+
+            migrated_before = machine.traffic.pages_migrated
+            overhead_ns = self.policy.on_batch(batch, tiers, self.now_ns)
+            migrated = machine.traffic.pages_migrated - migrated_before
+
+            cost = machine.cost_model.batch_cost(
+                cpu_ns=batch.cpu_ns,
+                local_accesses=n_local,
+                cxl_accesses=n_cxl,
+                pages_migrated=migrated,
+                overhead_ns=overhead_ns,
+                bytes_per_access=batch.bytes_per_access,
+            )
+            self.metrics.record_batch(
+                start_ns=self.now_ns,
+                cost=cost,
+                num_ops=batch.num_ops,
+                local_accesses=n_local,
+                cxl_accesses=n_cxl,
+                pages_migrated=migrated,
+                label=batch.label,
+            )
+            self.now_ns += cost.total_ns
+            accesses_done += batch.num_accesses
+            batches_done += 1
+
+        return self.metrics.finalize(
+            policy_name=self.policy.name,
+            workload_name=self.workload.name,
+            traffic_breakdown=machine.traffic.breakdown(),
+            migration_bytes=machine.traffic.migration_bytes,
+            warmup_fraction=warmup_fraction,
+            policy_stats=self.policy.stats.as_dict(),
+        )

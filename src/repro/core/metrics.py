@@ -1,0 +1,259 @@
+"""Metrics collection and the experiment result object.
+
+Collects one :class:`BatchRecord` per simulated batch, then reduces to
+the quantities the paper reports:
+
+- **P50 op latency** -- median per-operation latency across
+  steady-state batches (paper: P50 GET latency);
+- **throughput** -- steady-state operations per simulated second;
+- **local-DRAM hit ratio** -- overall and per-window timeline (Figs. 9
+  and 11);
+- **traffic breakdown** -- local/CXL/migration byte shares (Fig. 2);
+- **per-label runtimes** -- simulated time per trial/round label
+  (Tables IV and V report per-trial and per-round averages);
+- ``%all-local`` via :meth:`ExperimentResult.relative_to`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.costmodel import BatchCost
+
+
+@dataclass
+class BatchRecord:
+    """Everything remembered about one simulated batch."""
+
+    start_ns: float
+    duration_ns: float
+    num_ops: float
+    num_accesses: int
+    local_accesses: int
+    cxl_accesses: int
+    pages_migrated: int
+    overhead_ns: float
+    label: str = ""
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+    @property
+    def per_op_latency_ns(self) -> float | None:
+        if self.num_ops <= 0:
+            return None
+        return self.duration_ns / self.num_ops
+
+    @property
+    def hit_ratio(self) -> float | None:
+        total = self.local_accesses + self.cxl_accesses
+        if total == 0:
+            return None
+        return self.local_accesses / total
+
+
+class MetricsCollector:
+    """Accumulates batch records during an engine run."""
+
+    def __init__(self):
+        self.records: list[BatchRecord] = []
+
+    def record_batch(
+        self,
+        start_ns: float,
+        cost: BatchCost,
+        num_ops: float,
+        local_accesses: int,
+        cxl_accesses: int,
+        pages_migrated: int,
+        label: str = "",
+    ) -> None:
+        self.records.append(
+            BatchRecord(
+                start_ns=start_ns,
+                duration_ns=cost.total_ns,
+                num_ops=num_ops,
+                num_accesses=local_accesses + cxl_accesses,
+                local_accesses=local_accesses,
+                cxl_accesses=cxl_accesses,
+                pages_migrated=pages_migrated,
+                overhead_ns=cost.overhead_ns,
+                label=label,
+            )
+        )
+
+    def finalize(
+        self,
+        policy_name: str,
+        workload_name: str,
+        traffic_breakdown: dict[str, float],
+        migration_bytes: int,
+        warmup_fraction: float = 0.25,
+        policy_stats: dict[str, float] | None = None,
+    ) -> "ExperimentResult":
+        return ExperimentResult.from_records(
+            self.records,
+            policy_name=policy_name,
+            workload_name=workload_name,
+            traffic_breakdown=traffic_breakdown,
+            migration_bytes=migration_bytes,
+            warmup_fraction=warmup_fraction,
+            policy_stats=policy_stats or {},
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Reduced metrics for one experiment cell."""
+
+    policy_name: str
+    workload_name: str
+    total_time_ns: float
+    steady_p50_latency_ns: float | None
+    steady_throughput_ops_per_s: float | None
+    overall_hit_ratio: float
+    steady_hit_ratio: float
+    traffic_breakdown: dict[str, float]
+    migration_bytes: int
+    pages_migrated: int
+    total_ops: float
+    total_accesses: int
+    #: (end_time_ns, windowed hit ratio) timeline points.
+    hit_ratio_timeline: list[tuple[float, float]] = field(default_factory=list)
+    #: (end_time_ns, per-op latency ns) timeline points.
+    latency_timeline: list[tuple[float, float]] = field(default_factory=list)
+    #: Simulated time per batch label (e.g. GAP trials, XGBoost rounds).
+    time_per_label_ns: dict[str, float] = field(default_factory=dict)
+    policy_stats: dict[str, float] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_records(
+        records: list[BatchRecord],
+        policy_name: str,
+        workload_name: str,
+        traffic_breakdown: dict[str, float],
+        migration_bytes: int,
+        warmup_fraction: float = 0.25,
+        policy_stats: dict[str, float] | None = None,
+    ) -> "ExperimentResult":
+        if not records:
+            raise ValueError("cannot reduce an empty record list")
+        total_time = records[-1].end_ns
+        cutoff = total_time * warmup_fraction
+        steady = [r for r in records if r.start_ns >= cutoff] or records
+
+        latencies = [
+            lat for r in steady if (lat := r.per_op_latency_ns) is not None
+        ]
+        p50 = float(np.median(latencies)) if latencies else None
+
+        steady_ops = sum(r.num_ops for r in steady)
+        steady_span = steady[-1].end_ns - steady[0].start_ns
+        throughput = (
+            steady_ops / (steady_span / 1e9) if steady_span > 0 and steady_ops else None
+        )
+
+        total_local = sum(r.local_accesses for r in records)
+        total_cxl = sum(r.cxl_accesses for r in records)
+        overall_hit = total_local / max(total_local + total_cxl, 1)
+        s_local = sum(r.local_accesses for r in steady)
+        s_cxl = sum(r.cxl_accesses for r in steady)
+        steady_hit = s_local / max(s_local + s_cxl, 1)
+
+        hit_timeline = [
+            (r.end_ns, hr) for r in records if (hr := r.hit_ratio) is not None
+        ]
+        lat_timeline = [
+            (r.end_ns, lat)
+            for r in records
+            if (lat := r.per_op_latency_ns) is not None
+        ]
+
+        per_label: dict[str, float] = {}
+        for r in records:
+            if r.label:
+                per_label[r.label] = per_label.get(r.label, 0.0) + r.duration_ns
+
+        return ExperimentResult(
+            policy_name=policy_name,
+            workload_name=workload_name,
+            total_time_ns=total_time,
+            steady_p50_latency_ns=p50,
+            steady_throughput_ops_per_s=throughput,
+            overall_hit_ratio=overall_hit,
+            steady_hit_ratio=steady_hit,
+            traffic_breakdown=dict(traffic_breakdown),
+            migration_bytes=migration_bytes,
+            pages_migrated=sum(r.pages_migrated for r in records),
+            total_ops=sum(r.num_ops for r in records),
+            total_accesses=sum(r.num_accesses for r in records),
+            hit_ratio_timeline=hit_timeline,
+            latency_timeline=lat_timeline,
+            time_per_label_ns=per_label,
+            policy_stats=policy_stats or {},
+        )
+
+    # -- derived ----------------------------------------------------------------
+
+    def mean_time_per_label_ns(self, skip_fraction: float = 0.25) -> float | None:
+        """Average simulated time per label, skipping leading labels.
+
+        Reproduces the paper's GAP methodology: "average runtimes
+        exclude the first 1/4 of trials, considered warmup".
+        """
+        if not self.time_per_label_ns:
+            return None
+        items = list(self.time_per_label_ns.values())
+        skip = int(len(items) * skip_fraction)
+        kept = items[skip:] or items
+        return float(np.mean(kept))
+
+    def relative_to(self, baseline: "ExperimentResult") -> dict[str, float | None]:
+        """The paper's %all-local columns (higher is better for all).
+
+        Latency and per-label time are inverted (baseline/self) so a
+        slower system scores below 1.0, matching the tables.
+        """
+        out: dict[str, float | None] = {}
+        if self.steady_p50_latency_ns and baseline.steady_p50_latency_ns:
+            out["p50_latency"] = (
+                baseline.steady_p50_latency_ns / self.steady_p50_latency_ns
+            )
+        else:
+            out["p50_latency"] = None
+        if self.steady_throughput_ops_per_s and baseline.steady_throughput_ops_per_s:
+            out["throughput"] = (
+                self.steady_throughput_ops_per_s
+                / baseline.steady_throughput_ops_per_s
+            )
+        else:
+            out["throughput"] = None
+        mine = self.mean_time_per_label_ns()
+        theirs = baseline.mean_time_per_label_ns()
+        out["label_time"] = (theirs / mine) if mine and theirs else None
+        return out
+
+    def summary(self) -> dict[str, object]:
+        """Flat dict for table printing."""
+        return {
+            "policy": self.policy_name,
+            "workload": self.workload_name,
+            "p50_latency_us": (
+                self.steady_p50_latency_ns / 1e3
+                if self.steady_p50_latency_ns is not None
+                else None
+            ),
+            "throughput_mops": (
+                self.steady_throughput_ops_per_s / 1e6
+                if self.steady_throughput_ops_per_s is not None
+                else None
+            ),
+            "hit_ratio": self.steady_hit_ratio,
+            "migration_share": self.traffic_breakdown.get("migration", 0.0),
+            "pages_migrated": self.pages_migrated,
+        }

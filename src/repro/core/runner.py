@@ -1,0 +1,116 @@
+"""One-call experiment facade.
+
+Every benchmark and example builds on three calls:
+
+- :func:`run_experiment` -- one (workload, policy, config) cell;
+- :func:`run_all_local` -- the all-local upper bound for the same
+  workload (paper Section VI-B);
+- :func:`compare_policies` -- a whole table row: several policies on
+  identical machines/workloads plus %all-local columns.
+
+Workloads and policies are passed as zero-argument factories so each
+cell gets fresh, identically-seeded instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import ExperimentConfig
+from repro.core.engine import SimulationEngine
+from repro.core.metrics import ExperimentResult
+from repro.memsim.machine import Machine, MachineConfig
+from repro.memsim.tier import TieredMemoryConfig
+from repro.policies.alllocal import AllLocal
+from repro.policies.base import TieringPolicy
+from repro.workloads.spec import Workload
+
+WorkloadFactory = Callable[[], Workload]
+PolicyFactory = Callable[[], TieringPolicy]
+
+
+def build_machine(
+    footprint_pages: int, config: ExperimentConfig
+) -> Machine:
+    """Size a machine for one experiment cell.
+
+    Local capacity is ``local_fraction x footprint`` (the paper's
+    %local column); CXL capacity honours the 1:N ratio and is grown if
+    needed so local + CXL can hold the whole footprint plus headroom
+    for migration transients.
+    """
+    local = max(32, int(round(config.local_fraction * footprint_pages)))
+    cxl = max(local * config.cxl_multiple, footprint_pages - local // 2)
+    # Headroom: demotions must never fail for lack of CXL space.
+    cxl = max(cxl, footprint_pages + local)
+    return Machine(
+        MachineConfig(
+            local_capacity_pages=local,
+            cxl_capacity_pages=cxl,
+            memory=config.memory,
+        )
+    )
+
+
+def build_all_local_machine(
+    footprint_pages: int, memory: TieredMemoryConfig
+) -> Machine:
+    """A machine whose local DRAM holds the entire footprint."""
+    return Machine(
+        MachineConfig(
+            local_capacity_pages=footprint_pages + 64,
+            cxl_capacity_pages=64,
+            memory=memory,
+        )
+    )
+
+
+def run_experiment(
+    workload_factory: WorkloadFactory,
+    policy_factory: PolicyFactory,
+    config: ExperimentConfig,
+) -> ExperimentResult:
+    """Run one experiment cell and reduce its metrics."""
+    workload = workload_factory()
+    machine = build_machine(workload.footprint_pages, config)
+    policy = policy_factory()
+    engine = SimulationEngine(machine, workload, policy)
+    return engine.run(
+        max_batches=config.max_batches,
+        max_accesses=config.max_accesses,
+        warmup_fraction=config.warmup_fraction,
+    )
+
+
+def run_all_local(
+    workload_factory: WorkloadFactory,
+    config: ExperimentConfig,
+) -> ExperimentResult:
+    """The all-local upper bound for this workload and CXL device."""
+    workload = workload_factory()
+    machine = build_all_local_machine(workload.footprint_pages, config.memory)
+    engine = SimulationEngine(machine, workload, AllLocal())
+    return engine.run(
+        max_batches=config.max_batches,
+        max_accesses=config.max_accesses,
+        warmup_fraction=config.warmup_fraction,
+    )
+
+
+def compare_policies(
+    workload_factory: WorkloadFactory,
+    policy_factories: dict[str, PolicyFactory],
+    config: ExperimentConfig,
+    include_all_local: bool = True,
+) -> dict[str, ExperimentResult]:
+    """Run several policies on identical cells; adds 'AllLocal' if asked.
+
+    Returns ``{policy_name: result}``; compute the paper's %all-local
+    columns via ``result.relative_to(results["AllLocal"])``.
+    """
+    results: dict[str, ExperimentResult] = {}
+    if include_all_local:
+        results["AllLocal"] = run_all_local(workload_factory, config)
+    for name, factory in policy_factories.items():
+        results[name] = run_experiment(workload_factory, factory, config)
+    return results

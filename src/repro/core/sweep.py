@@ -1,0 +1,32 @@
+"""Parameter-sweep helper for the sensitivity studies (Figs. 12-13)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TypeVar
+
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import ExperimentResult
+from repro.core.runner import PolicyFactory, WorkloadFactory, run_experiment
+
+T = TypeVar("T")
+
+
+def sweep(
+    workload_factory: WorkloadFactory,
+    policy_factory_for: Callable[[T], PolicyFactory],
+    values: Iterable[T],
+    config: ExperimentConfig,
+) -> dict[T, ExperimentResult]:
+    """Run one experiment per parameter value.
+
+    ``policy_factory_for(v)`` returns the policy factory configured
+    with parameter value ``v`` (e.g. a CBF size or a sample batch
+    size); workload and machine are identical across cells.
+    """
+    results: dict[T, ExperimentResult] = {}
+    for value in values:
+        results[value] = run_experiment(
+            workload_factory, policy_factory_for(value), config
+        )
+    return results

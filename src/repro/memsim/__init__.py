@@ -1,0 +1,53 @@
+"""Tiered-memory hardware substrate.
+
+Models the machine the paper evaluates on (Section VI-A): a host with
+local DRAM plus a CXL-attached memory node, emulated there by a remote
+NUMA socket.  Here the machine is an explicit simulator:
+
+- :mod:`~repro.memsim.tier` -- per-tier latency/bandwidth specs with the
+  paper's CXL-1 (high-bandwidth) and CXL-2 (low-bandwidth) presets.
+- :class:`~repro.memsim.address_space.AddressSpace` -- virtual address
+  layout (the ``/proc/PID/maps`` analogue).
+- :class:`~repro.memsim.pagetable.PageTable` -- page -> tier placement
+  (the ``/proc/PID/pagemap`` analogue) with batch reads.
+- :class:`~repro.memsim.machine.Machine` -- allocation, watermarks and
+  the ``move_pages``-style migration interface with traffic accounting.
+- :class:`~repro.memsim.costmodel.CostModel` -- converts access and
+  migration traffic into simulated time (latency + bandwidth model).
+"""
+
+from repro.memsim.address_space import AddressSpace, VMARegion
+from repro.memsim.costmodel import BatchCost, CostModel
+from repro.memsim.machine import Machine, MachineConfig
+from repro.memsim.pagetable import LOCAL_TIER, CXL_TIER, UNMAPPED, PageTable
+from repro.memsim.tier import (
+    CXL1_CONFIG,
+    CXL2_CONFIG,
+    LOCAL_DRAM,
+    CXL1_MEMORY,
+    CXL2_MEMORY,
+    TierSpec,
+    TieredMemoryConfig,
+)
+from repro.memsim.traffic import TrafficMeter
+
+__all__ = [
+    "AddressSpace",
+    "BatchCost",
+    "CostModel",
+    "CXL1_CONFIG",
+    "CXL1_MEMORY",
+    "CXL2_CONFIG",
+    "CXL2_MEMORY",
+    "CXL_TIER",
+    "LOCAL_DRAM",
+    "LOCAL_TIER",
+    "Machine",
+    "MachineConfig",
+    "PageTable",
+    "TieredMemoryConfig",
+    "TierSpec",
+    "TrafficMeter",
+    "UNMAPPED",
+    "VMARegion",
+]

@@ -1,0 +1,139 @@
+"""Virtual address space of the tiered workload process.
+
+The demotion scan in FreqTier (paper Algorithm 2, Section V-B1) walks
+the application's virtual address space linearly, using
+``/proc/PID/maps`` to enumerate mapped regions.  This module is the
+simulator's analogue: an ordered set of :class:`VMARegion` mappings
+over a global page-id space, with the iteration and wrap-around
+helpers the scan needs.
+
+Page ids are global integers; a region covers the contiguous range
+``[start_page, start_page + num_pages)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VMARegion:
+    """One mapped virtual memory area."""
+
+    start_page: int
+    num_pages: int
+    name: str = "anon"
+
+    def __post_init__(self) -> None:
+        if self.start_page < 0:
+            raise ValueError(f"start_page must be >= 0, got {self.start_page}")
+        if self.num_pages <= 0:
+            raise ValueError(f"num_pages must be > 0, got {self.num_pages}")
+
+    @property
+    def end_page(self) -> int:
+        """One past the last page of the region."""
+        return self.start_page + self.num_pages
+
+    def contains(self, page: int) -> bool:
+        return self.start_page <= page < self.end_page
+
+
+class AddressSpace:
+    """Ordered collection of VMAs (the ``/proc/PID/maps`` analogue)."""
+
+    def __init__(self):
+        self._regions: list[VMARegion] = []
+        self._next_free_page = 0
+
+    # -- allocation ------------------------------------------------------
+
+    def map_region(self, num_pages: int, name: str = "anon") -> VMARegion:
+        """Map a new region after the last one; returns the VMA."""
+        region = VMARegion(self._next_free_page, num_pages, name=name)
+        self._regions.append(region)
+        self._next_free_page = region.end_page
+        return region
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def regions(self) -> tuple[VMARegion, ...]:
+        """All VMAs in virtual-address order."""
+        return tuple(self._regions)
+
+    @property
+    def total_pages(self) -> int:
+        """Number of mapped pages across all regions."""
+        return sum(region.num_pages for region in self._regions)
+
+    @property
+    def max_page(self) -> int:
+        """One past the highest mapped page id (0 when empty)."""
+        return self._next_free_page
+
+    def region_of(self, page: int) -> VMARegion | None:
+        """The VMA containing ``page``, or ``None`` if unmapped."""
+        for region in self._regions:
+            if region.contains(page):
+                return region
+        return None
+
+    def is_mapped(self, page: int) -> bool:
+        return self.region_of(page) is not None
+
+    def all_pages(self) -> np.ndarray:
+        """All mapped page ids in virtual-address order."""
+        if not self._regions:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(
+            [
+                np.arange(region.start_page, region.end_page, dtype=np.int64)
+                for region in self._regions
+            ]
+        )
+
+    # -- linear scan support (demotion) --------------------------------------
+
+    def scan_from(self, start_page: int, count: int) -> tuple[np.ndarray, int]:
+        """Return up to ``count`` mapped pages starting at ``start_page``.
+
+        Walks the address space in virtual order, skipping unmapped
+        holes, wrapping from the end back to the first region (the
+        paper's Figure 7 restart behaviour).  Returns the page array
+        and the resume cursor (the page *after* the last one returned).
+
+        The result may be shorter than ``count`` only if the address
+        space has fewer mapped pages than requested.
+        """
+        total = self.total_pages
+        if total == 0 or count <= 0:
+            return np.zeros(0, dtype=np.int64), start_page
+        count = min(count, total)
+
+        chunks: list[np.ndarray] = []
+        remaining = count
+        cursor = start_page
+        # Two passes over the region list are enough: one from the
+        # cursor to the end, one wrapped from the start.
+        for _ in range(2):
+            for region in self._regions:
+                if remaining == 0:
+                    break
+                begin = max(region.start_page, cursor)
+                if begin >= region.end_page:
+                    continue
+                take = min(remaining, region.end_page - begin)
+                chunks.append(np.arange(begin, begin + take, dtype=np.int64))
+                remaining -= take
+                cursor = begin + take
+            if remaining == 0:
+                break
+            cursor = 0  # wrap around
+        pages = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        resume = int(pages[-1]) + 1 if len(pages) else start_page
+        if resume >= self.max_page:
+            resume = 0
+        return pages, resume

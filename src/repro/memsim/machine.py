@@ -1,0 +1,269 @@
+"""The tiered machine: allocation, watermarks, and page migration.
+
+Combines the address space, page table, traffic meter and cost model
+into the single object tiering policies act on.  The interface mirrors
+what FreqTier and the baselines use on Linux (paper Sections IV-V):
+
+- **allocation** follows the default Linux policy: new pages are served
+  from local DRAM while space is available, then spill to CXL;
+- **watermarks** ``DEMOTE_WMARK > PROMO_WMARK`` are measured against
+  free local capacity (paper Section V-B / Fig. 6): when free local
+  memory falls below ``PROMO_WMARK`` the policy demotes until free
+  memory exceeds ``DEMOTE_WMARK``;
+- :meth:`Machine.move_pages` is the ``numa_move_pages()`` analogue:
+  batched, capacity-checked, traffic-accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.address_space import AddressSpace, VMARegion
+from repro.memsim.costmodel import CostModel, CostModelParams
+from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER, PageTable
+from repro.memsim.tier import CXL1_CONFIG, TieredMemoryConfig
+from repro.memsim.traffic import TrafficMeter
+
+
+@dataclass
+class MachineConfig:
+    """Capacities and watermark settings of one tiered machine."""
+
+    local_capacity_pages: int
+    cxl_capacity_pages: int
+    memory: TieredMemoryConfig = CXL1_CONFIG
+    #: Demotion stops once free local capacity exceeds this fraction.
+    demote_wmark_frac: float = 0.04
+    #: Demotion starts once free local capacity falls below this fraction.
+    promo_wmark_frac: float = 0.02
+    #: "local_first" (default Linux policy, paper Section V-B) or
+    #: "interleave" (pages striped across tiers proportionally to
+    #: capacity -- the bandwidth-spreading alternative some deployments
+    #: use instead of tiering).
+    allocation_policy: str = "local_first"
+    cost_params: CostModelParams = field(default_factory=CostModelParams)
+
+    def __post_init__(self) -> None:
+        if self.local_capacity_pages <= 0:
+            raise ValueError(
+                f"local_capacity_pages must be > 0, got {self.local_capacity_pages}"
+            )
+        if self.cxl_capacity_pages <= 0:
+            raise ValueError(
+                f"cxl_capacity_pages must be > 0, got {self.cxl_capacity_pages}"
+            )
+        if not 0.0 <= self.promo_wmark_frac <= self.demote_wmark_frac <= 1.0:
+            raise ValueError(
+                "need 0 <= promo_wmark_frac <= demote_wmark_frac <= 1, got "
+                f"promo={self.promo_wmark_frac} demote={self.demote_wmark_frac}"
+            )
+        if self.allocation_policy not in ("local_first", "interleave"):
+            raise ValueError(
+                "allocation_policy must be 'local_first' or 'interleave', "
+                f"got {self.allocation_policy!r}"
+            )
+
+    @property
+    def total_capacity_pages(self) -> int:
+        return self.local_capacity_pages + self.cxl_capacity_pages
+
+    @property
+    def local_ratio(self) -> float:
+        """Local share of total capacity (e.g. 1:32 config -> ~0.03)."""
+        return self.local_capacity_pages / self.total_capacity_pages
+
+
+class CapacityError(RuntimeError):
+    """Raised when an allocation cannot fit in the machine."""
+
+
+class Machine:
+    """A two-tier (local DRAM + CXL) memory machine."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.address_space = AddressSpace()
+        self.page_table = PageTable(config.total_capacity_pages)
+        self.traffic = TrafficMeter()
+        self.cost_model = CostModel(config.memory, config.cost_params)
+        self._reserved_local_pages = 0
+
+    # -- reservations (e.g. pinned tiering metadata) -----------------------
+
+    @property
+    def reserved_local_pages(self) -> int:
+        return self._reserved_local_pages
+
+    def reserve_local_pages(self, num_pages: int) -> None:
+        """Pin ``num_pages`` of local DRAM for non-application use.
+
+        Models metadata that a tiering runtime keeps resident in local
+        DRAM (e.g. HeMem's 168 bytes/page tables, paper Section VII-C),
+        shrinking the capacity available to application pages.
+        """
+        if num_pages < 0:
+            raise ValueError(f"num_pages must be >= 0, got {num_pages}")
+        available = self.config.local_capacity_pages - self._reserved_local_pages
+        if num_pages > available:
+            raise CapacityError(
+                f"cannot reserve {num_pages} local pages; only {available} left"
+            )
+        self._reserved_local_pages += num_pages
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def local_used_pages(self) -> int:
+        return self.page_table.count_in_tier(LOCAL_TIER)
+
+    @property
+    def cxl_used_pages(self) -> int:
+        return self.page_table.count_in_tier(CXL_TIER)
+
+    @property
+    def local_free_pages(self) -> int:
+        return (
+            self.config.local_capacity_pages
+            - self._reserved_local_pages
+            - self.local_used_pages
+        )
+
+    @property
+    def cxl_free_pages(self) -> int:
+        return self.config.cxl_capacity_pages - self.cxl_used_pages
+
+    @property
+    def local_free_fraction(self) -> float:
+        return self.local_free_pages / self.config.local_capacity_pages
+
+    # -- watermarks (paper Fig. 6) -------------------------------------------
+
+    @property
+    def demote_wmark_pages(self) -> int:
+        return max(
+            2, int(self.config.demote_wmark_frac * self.config.local_capacity_pages)
+        )
+
+    @property
+    def promo_wmark_pages(self) -> int:
+        return max(
+            1, int(self.config.promo_wmark_frac * self.config.local_capacity_pages)
+        )
+
+    def below_promo_wmark(self) -> bool:
+        """True when free local memory is low enough to trigger demotion."""
+        return self.local_free_pages < self.promo_wmark_pages
+
+    def above_demote_wmark(self) -> bool:
+        """True when demotion has freed enough local memory to stop."""
+        return self.local_free_pages > self.demote_wmark_pages
+
+    def demotion_deficit_pages(self) -> int:
+        """Pages to demote to bring free local memory above DEMOTE_WMARK."""
+        return max(0, self.demote_wmark_pages - self.local_free_pages + 1)
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate(self, num_pages: int, name: str = "anon") -> VMARegion:
+        """Map a region, placing pages per the allocation policy."""
+        if num_pages > self.local_free_pages + self.cxl_free_pages:
+            raise CapacityError(
+                f"cannot allocate {num_pages} pages: only "
+                f"{self.local_free_pages + self.cxl_free_pages} free"
+            )
+        region = self.address_space.map_region(num_pages, name=name)
+        pages = np.arange(region.start_page, region.end_page, dtype=np.int64)
+        if self.config.allocation_policy == "interleave":
+            self._place_interleaved(pages)
+        else:
+            n_local = min(num_pages, self.local_free_pages)
+            if n_local:
+                self.page_table.place(pages[:n_local], LOCAL_TIER)
+            if n_local < num_pages:
+                self.page_table.place(pages[n_local:], CXL_TIER)
+        return region
+
+    def _place_interleaved(self, pages: np.ndarray) -> None:
+        """Stripe pages across tiers proportionally to free capacity."""
+        num_pages = int(pages.size)
+        free_local = self.local_free_pages
+        free_cxl = self.cxl_free_pages
+        total_free = free_local + free_cxl
+        n_local = min(
+            free_local, int(round(num_pages * free_local / max(total_free, 1)))
+        )
+        n_local = max(n_local, num_pages - free_cxl)  # CXL must absorb rest
+        if num_pages <= 0:
+            return
+        # Even stripe: every k-th page goes local.
+        mask = np.zeros(num_pages, dtype=bool)
+        if n_local > 0:
+            idx = np.linspace(0, num_pages - 1, n_local).astype(np.int64)
+            mask[idx] = True
+        if mask.any():
+            self.page_table.place(pages[mask], LOCAL_TIER)
+        if (~mask).any():
+            self.page_table.place(pages[~mask], CXL_TIER)
+
+    # -- migration (numa_move_pages analogue) --------------------------------------
+
+    def move_pages(self, pages: np.ndarray, target_tier: int) -> int:
+        """Migrate ``pages`` to ``target_tier``; returns pages actually moved.
+
+        Pages already on the target tier or unmapped are skipped; the
+        move is truncated to the target tier's free capacity (as the
+        kernel call would fail with ENOMEM beyond it).  Traffic is
+        recorded for the pages moved.
+        """
+        pages = np.atleast_1d(np.asarray(pages, dtype=np.int64))
+        if pages.size == 0:
+            return 0
+        placement = self.page_table.tier_of(pages)
+        source_tier = LOCAL_TIER if target_tier == CXL_TIER else CXL_TIER
+        movable = pages[placement == source_tier]
+        free = (
+            self.local_free_pages if target_tier == LOCAL_TIER else self.cxl_free_pages
+        )
+        moved = movable[: max(0, free)]
+        if moved.size == 0:
+            return 0
+        self.page_table.place(moved, target_tier)
+        self.traffic.record_migration(
+            int(moved.size), promotion=(target_tier == LOCAL_TIER)
+        )
+        return int(moved.size)
+
+    def promote(self, pages: np.ndarray) -> int:
+        """Move ``pages`` from CXL to local DRAM (capacity permitting)."""
+        return self.move_pages(pages, LOCAL_TIER)
+
+    def demote(self, pages: np.ndarray) -> int:
+        """Move ``pages`` from local DRAM to CXL."""
+        return self.move_pages(pages, CXL_TIER)
+
+    # -- access servicing ---------------------------------------------------------------
+
+    def service_accesses(self, page_ids: np.ndarray) -> tuple[int, int]:
+        """Service a batch of application accesses; returns (local, cxl) counts.
+
+        Every page id must be mapped; accessing an unmapped page is a
+        simulator bug, not a workload behaviour, so it raises.
+        """
+        page_ids = np.asarray(page_ids, dtype=np.int64)
+        if page_ids.size == 0:
+            return 0, 0
+        placement = self.page_table.tier_of(page_ids)
+        n_local = int(np.count_nonzero(placement == LOCAL_TIER))
+        n_cxl = int(np.count_nonzero(placement == CXL_TIER))
+        if n_local + n_cxl != page_ids.size:
+            raise RuntimeError(
+                f"{page_ids.size - n_local - n_cxl} accesses touched unmapped pages"
+            )
+        self.traffic.record_accesses(n_local, n_cxl)
+        return n_local, n_cxl
+
+    def placement_of(self, page_ids: np.ndarray) -> np.ndarray:
+        """Vectorized tier lookup without traffic accounting."""
+        return self.page_table.tier_of(np.asarray(page_ids, dtype=np.int64))

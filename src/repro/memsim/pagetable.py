@@ -1,0 +1,109 @@
+"""Page -> tier placement table (the ``/proc/PID/pagemap`` analogue).
+
+FreqTier's demotion scan checks whether each candidate page currently
+resides in local DRAM by reading ``/proc/PID/pagemap`` in batches of
+contiguous pages (paper Section V-B1).  :class:`PageTable` provides
+that interface over a numpy-backed placement array, and tracks a
+batched-read counter so the policy layer can account for the
+pseudo-filesystem overhead the paper's optimization amortizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Placement codes.
+UNMAPPED: int = -1
+LOCAL_TIER: int = 0
+CXL_TIER: int = 1
+
+
+class PageTable:
+    """Placement of every page id onto a tier (or unmapped)."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise ValueError(f"capacity_pages must be > 0, got {capacity_pages}")
+        self.capacity_pages = int(capacity_pages)
+        self._placement = np.full(capacity_pages, UNMAPPED, dtype=np.int8)
+        self._tier_counts = {LOCAL_TIER: 0, CXL_TIER: 0}
+        #: Batched pagemap reads issued (overhead accounting).
+        self.pagemap_reads = 0
+        self.pagemap_pages_read = 0
+
+    # -- placement mutation ---------------------------------------------
+
+    def place(self, pages: np.ndarray, tier: int) -> None:
+        """Map ``pages`` onto ``tier`` (overwriting any prior placement)."""
+        self._validate_tier(tier)
+        idx = self._as_index(pages)
+        if idx.size == 0:
+            return
+        previous = self._placement[idx]
+        for t in (LOCAL_TIER, CXL_TIER):
+            self._tier_counts[t] -= int(np.count_nonzero(previous == t))
+        self._placement[idx] = tier
+        self._tier_counts[tier] += idx.size
+
+    def unmap(self, pages: np.ndarray) -> None:
+        """Remove ``pages`` from all tiers."""
+        idx = self._as_index(pages)
+        if idx.size == 0:
+            return
+        previous = self._placement[idx]
+        for t in (LOCAL_TIER, CXL_TIER):
+            self._tier_counts[t] -= int(np.count_nonzero(previous == t))
+        self._placement[idx] = UNMAPPED
+
+    # -- queries ------------------------------------------------------------
+
+    def tier_of(self, pages: np.ndarray | int) -> np.ndarray | int:
+        """Placement code for each page (vectorized)."""
+        if np.isscalar(pages):
+            return int(self._placement[int(pages)])
+        return self._placement[self._as_index(pages)].astype(np.int64)
+
+    def pages_in_tier(self, tier: int) -> np.ndarray:
+        """All page ids currently placed on ``tier``."""
+        self._validate_tier(tier)
+        return np.nonzero(self._placement == tier)[0].astype(np.int64)
+
+    def count_in_tier(self, tier: int) -> int:
+        self._validate_tier(tier)
+        return self._tier_counts[tier]
+
+    @property
+    def mapped_pages(self) -> int:
+        return self._tier_counts[LOCAL_TIER] + self._tier_counts[CXL_TIER]
+
+    # -- the pagemap batch-read interface ---------------------------------------
+
+    def pagemap_read_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Batched placement lookup, counted as one pseudo-fs read.
+
+        This is the interface the demotion scan uses; querying a batch
+        of contiguous pages with one call is the paper's optimization
+        over per-page ``/proc`` reads.
+        """
+        idx = self._as_index(pages)
+        self.pagemap_reads += 1
+        self.pagemap_pages_read += int(idx.size)
+        return self._placement[idx].astype(np.int64)
+
+    # -- internal -------------------------------------------------------------------
+
+    def _as_index(self, pages: np.ndarray | int) -> np.ndarray:
+        idx = np.atleast_1d(np.asarray(pages, dtype=np.int64))
+        if idx.size:
+            lo, hi = int(idx.min()), int(idx.max())
+            if lo < 0 or hi >= self.capacity_pages:
+                raise IndexError(
+                    f"page id out of range [0, {self.capacity_pages}): "
+                    f"min={lo} max={hi}"
+                )
+        return idx
+
+    @staticmethod
+    def _validate_tier(tier: int) -> None:
+        if tier not in (LOCAL_TIER, CXL_TIER):
+            raise ValueError(f"tier must be LOCAL_TIER or CXL_TIER, got {tier}")

@@ -1,0 +1,80 @@
+"""Memory tier performance specifications (paper Section VI-A, Fig. 8).
+
+The paper emulates two CXL devices on a two-socket Xeon by treating the
+remote NUMA node as CXL memory:
+
+- **CXL-1** -- fast, high-bandwidth CXL (all 8 remote memory channels).
+- **CXL-2** -- slow, low-bandwidth CXL (1 remote memory channel).
+
+The latency/bandwidth values below follow the paper's Figure 8, which
+in turn matches the fast/slow devices characterized by Sun et al.
+(MICRO'23): CXL adds ~50-100 ns over local DRAM and delivers 20-70% of
+its bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Performance model of one memory tier."""
+
+    name: str
+    #: Idle (unloaded) access latency in nanoseconds.
+    latency_ns: float
+    #: Peak sustainable bandwidth in GB/s.
+    bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ns <= 0:
+            raise ValueError(f"latency_ns must be > 0, got {self.latency_ns}")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(
+                f"bandwidth_gbps must be > 0, got {self.bandwidth_gbps}"
+            )
+
+    @property
+    def bandwidth_bytes_per_ns(self) -> float:
+        """Bandwidth converted to bytes/ns (= GB/s / 1e9 * 1e9... = GB/s)."""
+        # 1 GB/s = 1e9 bytes / 1e9 ns = 1 byte/ns.
+        return self.bandwidth_gbps
+
+
+#: Local DDR4 DRAM on the application socket (Fig. 8 local numbers).
+LOCAL_DRAM = TierSpec(name="local-dram", latency_ns=110.0, bandwidth_gbps=85.0)
+
+#: Emulated fast CXL device (8 remote channels): ~100 ns extra latency,
+#: ~45% of local bandwidth.
+CXL1_MEMORY = TierSpec(name="cxl-1", latency_ns=210.0, bandwidth_gbps=38.0)
+
+#: Emulated slow CXL device (1 remote channel): ~300 ns extra latency,
+#: ~6% of local bandwidth.
+CXL2_MEMORY = TierSpec(name="cxl-2", latency_ns=400.0, bandwidth_gbps=5.5)
+
+
+@dataclass(frozen=True)
+class TieredMemoryConfig:
+    """A local + CXL tier pairing (one of the paper's two test machines)."""
+
+    name: str
+    local: TierSpec
+    cxl: TierSpec
+
+    @property
+    def latency_ratio(self) -> float:
+        """CXL latency relative to local DRAM."""
+        return self.cxl.latency_ns / self.local.latency_ns
+
+    @property
+    def bandwidth_fraction(self) -> float:
+        """CXL bandwidth as a fraction of local DRAM bandwidth."""
+        return self.cxl.bandwidth_gbps / self.local.bandwidth_gbps
+
+
+#: The paper's primary evaluation machine (Sections VI-A, VII-A).
+CXL1_CONFIG = TieredMemoryConfig(name="CXL-1", local=LOCAL_DRAM, cxl=CXL1_MEMORY)
+
+#: The low-bandwidth machine used in Section VII-B (Fig. 10).
+CXL2_CONFIG = TieredMemoryConfig(name="CXL-2", local=LOCAL_DRAM, cxl=CXL2_MEMORY)

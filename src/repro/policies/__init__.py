@@ -1,0 +1,46 @@
+"""Tiering policies: FreqTier (the paper's contribution) and baselines.
+
+- :class:`~repro.policies.freqtier.policy.FreqTier` -- CBF-based
+  frequency tiering with dynamic threshold and adaptive intensity
+  (``HybridTier`` is the camera-ready name; exported as an alias).
+- :class:`~repro.policies.autonuma.AutoNUMA` -- Linux hint-fault
+  recency tiering (kernel v6.x behaviour incl. TPP-derived features).
+- :class:`~repro.policies.tpp.TPP` -- hint faults + active-LRU
+  promotion, plain LRU demotion.
+- :class:`~repro.policies.hemem.HeMem` -- exact hash-table frequency
+  tiering with heavyweight per-page metadata.
+- :class:`~repro.policies.alllocal.AllLocal` -- everything in local
+  DRAM (upper bound).
+- :class:`~repro.policies.static_policy.StaticNoMigration` -- default
+  placement, no migration (lower bound).
+- :class:`~repro.policies.multiclock.MultiClock` -- the MULTI-CLOCK
+  related-work policy (accessed-once vs accessed-many classification).
+"""
+
+from repro.policies.alllocal import AllLocal
+from repro.policies.autonuma import AutoNUMA
+from repro.policies.base import PolicyStats, TieringPolicy
+from repro.policies.damon import DAMONRegion
+from repro.policies.freqtier import FreqTier, FreqTierConfig
+
+#: Camera-ready (ASPLOS'25) name of the same system.
+HybridTier = FreqTier
+from repro.policies.hemem import HeMem
+from repro.policies.multiclock import MultiClock
+from repro.policies.static_policy import StaticNoMigration
+from repro.policies.tpp import TPP
+
+__all__ = [
+    "AllLocal",
+    "AutoNUMA",
+    "DAMONRegion",
+    "FreqTier",
+    "FreqTierConfig",
+    "HeMem",
+    "HybridTier",
+    "MultiClock",
+    "PolicyStats",
+    "StaticNoMigration",
+    "TieringPolicy",
+    "TPP",
+]

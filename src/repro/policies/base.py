@@ -1,0 +1,105 @@
+"""Tiering-policy protocol and shared bookkeeping.
+
+A policy sees the machine through three narrow interfaces, matching
+what a real userspace tiering runtime gets:
+
+- its **sampler(s)** (PEBS, perf-stat or hint faults) for access
+  information -- never the raw access stream as ground truth;
+- the **page table / address space** query interfaces
+  (``/proc``-style, batched);
+- the **migration** calls (``promote`` / ``demote``).
+
+The engine calls :meth:`TieringPolicy.on_batch` once per access batch
+with the placement of each access *at service time* (this is what the
+memory controller counters observed, i.e. what PEBS would tag) and the
+current simulated time.  The policy returns its CPU overhead for the
+batch in nanoseconds; migrations it performed are visible to the
+engine through the machine's traffic meter.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.machine import Machine
+from repro.sampling.events import AccessBatch
+
+
+@dataclass
+class PolicyStats:
+    """Uniform per-policy counters for reports and overhead studies."""
+
+    promotions: int = 0
+    demotions: int = 0
+    promotion_calls: int = 0
+    demotion_calls: int = 0
+    overhead_ns: float = 0.0
+    samples_processed: int = 0
+    #: Modeled metadata memory (bytes) the policy holds in local DRAM.
+    metadata_bytes: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "promotion_calls": self.promotion_calls,
+            "demotion_calls": self.demotion_calls,
+            "overhead_ns": self.overhead_ns,
+            "samples_processed": self.samples_processed,
+            "metadata_bytes": self.metadata_bytes,
+        }
+        out.update(self.extra)
+        return out
+
+
+class TieringPolicy(abc.ABC):
+    """Base class for all tiering systems."""
+
+    name: str = "policy"
+
+    def __init__(self):
+        self.stats = PolicyStats()
+        self._machine: Machine | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def attach(self, machine: Machine) -> None:
+        """Bind to a machine.  Subclasses must call super().attach()."""
+        self._machine = machine
+
+    @property
+    def machine(self) -> Machine:
+        if self._machine is None:
+            raise RuntimeError(f"policy {self.name!r} used before attach()")
+        return self._machine
+
+    # -- main hook ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_batch(
+        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+    ) -> float:
+        """Observe one serviced access batch; return overhead in ns.
+
+        ``tiers[i]`` is the tier that serviced ``batch.page_ids[i]``.
+        Any promotions/demotions the policy performs here are recorded
+        by the machine's traffic meter.
+        """
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _record_migrations(self, promoted: int, demoted: int) -> None:
+        if promoted:
+            self.stats.promotions += promoted
+            self.stats.promotion_calls += 1
+        if demoted:
+            self.stats.demotions += demoted
+            self.stats.demotion_calls += 1
+
+    def describe(self) -> dict[str, object]:
+        """Metadata for benchmark reports."""
+        return {"name": self.name}

@@ -1,0 +1,14 @@
+"""FreqTier / HybridTier: the paper's tiering system."""
+
+from repro.policies.freqtier.config import FreqTierConfig
+from repro.policies.freqtier.intensity import IntensityController, TieringState
+from repro.policies.freqtier.policy import FreqTier
+from repro.policies.freqtier.threshold import HotThresholdController
+
+__all__ = [
+    "FreqTier",
+    "FreqTierConfig",
+    "HotThresholdController",
+    "IntensityController",
+    "TieringState",
+]

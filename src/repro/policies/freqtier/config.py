@@ -1,0 +1,149 @@
+"""FreqTier configuration (the paper's defaults, Section V).
+
+All tunables the paper names are here with their published defaults:
+4-bit counters, hot threshold 5, 100k sample batches, 1e-3 CBF false
+positive rate sized against local-DRAM page count, three sampling
+levels, 0.5% hit-ratio stability epsilon.
+
+Time-based intervals in the paper (one-minute windows, periodic aging)
+are expressed in *observed accesses* here so simulations of any length
+behave identically; the defaults keep the paper's proportions at the
+simulator's scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cbf.sizing import counters_for_fpr
+
+
+@dataclass
+class FreqTierConfig:
+    """Tunables of the FreqTier runtime."""
+
+    # --- counting bloom filter (Section V-A) ---
+    #: Counter array size; None sizes it for `cbf_target_fpr` over the
+    #: machine's local-DRAM page count at attach time.
+    cbf_num_counters: int | None = None
+    cbf_num_hashes: int = 3
+    cbf_bits: int = 4
+    #: Target false positive rate used when auto-sizing (paper: 1e-3).
+    cbf_target_fpr: float = 1e-3
+    #: Use the blocked (single-cache-line) CBF variant (Section V-C(b)).
+    blocked_cbf: bool = True
+    #: Aging cadence: halve counters every this many processed samples.
+    #: Roughly two agings per observation window at the HIGH sampling
+    #: level, so stale hotness decays within a few windows -- the
+    #: freshness the paper's churn experiment (Fig. 11) depends on.
+    aging_interval_samples: int = 30_000
+
+    # --- tracking granularity ---
+    #: Pages per tracking/migration unit.  1 = the paper's 4 KB default
+    #: (the smallest Linux migration granularity).  Larger values model
+    #: the huge-page-granularity tracking of prior works, which the
+    #: paper criticizes (Section III Challenge 2): less metadata, but
+    #: hot and cold 4 KB pages get fused into one classification.
+    granularity_pages: int = 1
+
+    # --- promotion (Algorithm 1, Section V-C(a)) ---
+    #: Initial hot threshold (paper default: 5).
+    initial_hot_threshold: int = 5
+    #: Samples accumulated before one batched promotion pass
+    #: (paper default 100k; scaled default keeps several passes per
+    #: simulated window, preserving the paper's batches:window ratio).
+    sample_batch_size: int = 5_000
+    #: Dynamic-threshold controller bounds.
+    min_hot_threshold: int = 1
+    max_hot_threshold: int | None = None  # None -> CBF max count
+
+    # --- demotion (Algorithm 2, Section V-B1) ---
+    #: Pages per batched pagemap query during the linear scan.
+    demotion_scan_chunk_pages: int = 512
+
+    # --- dynamic intensity (Section V-B2) ---
+    #: Observed accesses per hit-ratio window (the paper's one minute).
+    window_accesses: int = 1_000_000
+    #: Hit-ratio stability epsilon (paper: 0.5%).
+    stability_epsilon: float = 0.005
+    #: PEBS accesses-per-sample at the HIGH level (levels below are
+    #: 10x and 100x sparser, the paper's 100/10/1 kHz ladder).
+    pebs_base_period: int = 64
+    #: CPU cost per PEBS sample (collection + parse), ns.
+    sample_cost_ns: float = 120.0
+
+    # --- runtime placement (paper Section VIII-c) ---
+    #: "userspace" (the paper's implementation: LD_PRELOAD runtime
+    #: thread, maximum flexibility, pays syscall/context-switch costs)
+    #: or "kernel" (the discussed alternative: no syscall boundary for
+    #: migrations and pseudo-fs reads, at the cost of flexibility).
+    runtime_mode: str = "userspace"
+
+    # --- modeled management costs (userspace-mode values) ---
+    #: CPU cost of one batched pagemap read (scan overhead), ns.
+    pagemap_read_ns: float = 2_000.0
+    #: CPU cost per CBF update/query call, ns.
+    cbf_op_ns: float = 25.0
+    #: Fixed syscall cost per move_pages() invocation, ns.
+    move_pages_syscall_ns: float = 5_000.0
+
+    #: Crossing-the-boundary discount for kernel mode: syscall-priced
+    #: operations (migration calls, pagemap reads) become direct
+    #: function calls.
+    KERNEL_BOUNDARY_DISCOUNT = 0.2
+
+    def __post_init__(self) -> None:
+        if self.initial_hot_threshold < 1:
+            raise ValueError(
+                f"initial_hot_threshold must be >= 1, got "
+                f"{self.initial_hot_threshold}"
+            )
+        if self.sample_batch_size < 1:
+            raise ValueError(
+                f"sample_batch_size must be >= 1, got {self.sample_batch_size}"
+            )
+        if not 0.0 < self.cbf_target_fpr < 1.0:
+            raise ValueError(
+                f"cbf_target_fpr must be in (0, 1), got {self.cbf_target_fpr}"
+            )
+        if self.window_accesses < 1:
+            raise ValueError(
+                f"window_accesses must be >= 1, got {self.window_accesses}"
+            )
+        if self.granularity_pages < 1:
+            raise ValueError(
+                f"granularity_pages must be >= 1, got {self.granularity_pages}"
+            )
+        if self.runtime_mode not in ("userspace", "kernel"):
+            raise ValueError(
+                f"runtime_mode must be 'userspace' or 'kernel', got "
+                f"{self.runtime_mode!r}"
+            )
+
+    @property
+    def effective_move_pages_ns(self) -> float:
+        """Per-migration-call cost after the runtime-mode discount."""
+        if self.runtime_mode == "kernel":
+            return self.move_pages_syscall_ns * self.KERNEL_BOUNDARY_DISCOUNT
+        return self.move_pages_syscall_ns
+
+    @property
+    def effective_pagemap_read_ns(self) -> float:
+        """Per-pagemap-batch cost after the runtime-mode discount."""
+        if self.runtime_mode == "kernel":
+            return self.pagemap_read_ns * self.KERNEL_BOUNDARY_DISCOUNT
+        return self.pagemap_read_ns
+
+    def resolve_cbf_size(self, local_capacity_pages: int) -> int:
+        """Counter-array size: explicit, or sized for the target FPR.
+
+        The paper sizes the CBF "large enough to store all pages in
+        local DRAM while achieving a false positive rate of 1e-3".
+        """
+        if self.cbf_num_counters is not None:
+            return self.cbf_num_counters
+        return counters_for_fpr(
+            max(local_capacity_pages, 1),
+            self.cbf_target_fpr,
+            self.cbf_num_hashes,
+        )

@@ -1,0 +1,123 @@
+"""Dynamic tiering intensity (paper Sections IV-C and V-B2, Fig. 6).
+
+FreqTier modulates how hard it works based on whether tiering is still
+paying off:
+
+- Sampling runs at one of three levels (100/10/1 kHz).  Each window,
+  if the local-DRAM hit ratio was *stable* (within 0.5% across
+  windows) the level drops one step; if unstable it rises one step.
+- At the lowest level, a stable window sends the system into
+  **monitoring mode**: PEBS off, perf-stat counting only.
+- Two more triggers enter monitoring mode directly: a **promotion
+  plateau** (no pages promoted in the last window -- relevant for
+  GAP-like workloads whose hit ratio is naturally noisy) and an
+  **empty demotion scan** (a full pass over the address space found no
+  cold pages in local DRAM).
+- In monitoring mode, a hit-ratio deviation beyond the stability
+  epsilon from the reference ratio means the access distribution
+  changed: sampling restarts at the highest level (Fig. 11 shows this
+  detection within one window).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sampling.pebs import SamplingLevel
+from repro.sampling.perf_stat import PerfStatCounter
+
+
+class TieringState(enum.Enum):
+    """Top-level runtime state (paper Fig. 6)."""
+
+    SAMPLING = "sampling"
+    MONITORING = "monitoring"
+
+
+@dataclass
+class WindowReport:
+    """What happened during one observation window."""
+
+    hit_ratio: float | None
+    pages_promoted: int
+    empty_demotion_scan: bool
+    #: Promotion passes (sample-batch processings) run this window.
+    #: A promotion plateau is only meaningful if tiering actually ran:
+    #: a window with zero passes (e.g. the very first, before the
+    #: sample buffer fills) must not trigger monitoring mode.
+    processing_rounds: int = 0
+
+
+class IntensityController:
+    """The sampling-level / monitoring-mode state machine."""
+
+    def __init__(
+        self,
+        stability_epsilon: float = 0.005,
+        initial_level: SamplingLevel = SamplingLevel.HIGH,
+    ):
+        self.perf = PerfStatCounter(stability_epsilon=stability_epsilon)
+        self.state = TieringState.SAMPLING
+        self.level = SamplingLevel(initial_level)
+        self._reference_ratio: float | None = None
+        self.transitions: list[tuple[float, str]] = []
+
+    # -- events -----------------------------------------------------------
+
+    def count_accesses(self, local: int, cxl: int) -> None:
+        """Feed the always-on counting monitor."""
+        self.perf.count(local, cxl)
+
+    def end_window(self, report: WindowReport, now_ns: float) -> None:
+        """Close a window and run the state machine once."""
+        ratio = self.perf.close_window()
+        if self.state == TieringState.MONITORING:
+            self._monitoring_step(ratio, now_ns)
+        else:
+            self._sampling_step(report, now_ns)
+
+    # -- state steps -----------------------------------------------------------
+
+    def _sampling_step(self, report: WindowReport, now_ns: float) -> None:
+        if report.empty_demotion_scan:
+            self._enter_monitoring(now_ns, reason="empty-demotion-scan")
+            return
+        if report.processing_rounds > 0 and report.pages_promoted == 0:
+            self._enter_monitoring(now_ns, reason="promotion-plateau")
+            return
+        if self.perf.is_stable():
+            if self.level > SamplingLevel.LOW:
+                self.level = SamplingLevel(self.level - 1)
+                self._log(now_ns, f"level-down:{self.level.name}")
+            else:
+                self._enter_monitoring(now_ns, reason="stable-at-lowest")
+        else:
+            if self.level < SamplingLevel.HIGH:
+                self.level = SamplingLevel(self.level + 1)
+                self._log(now_ns, f"level-up:{self.level.name}")
+
+    def _monitoring_step(self, ratio: float | None, now_ns: float) -> None:
+        if ratio is None or self._reference_ratio is None:
+            return
+        if abs(ratio - self._reference_ratio) > self.perf.stability_epsilon:
+            # Distribution changed: back to full-rate sampling.
+            self.state = TieringState.SAMPLING
+            self.level = SamplingLevel.HIGH
+            self._reference_ratio = None
+            self._log(now_ns, "resume-sampling:HIGH")
+
+    def _enter_monitoring(self, now_ns: float, reason: str) -> None:
+        self.state = TieringState.MONITORING
+        self.level = SamplingLevel.OFF
+        self._reference_ratio = self.perf.last_window_hit_ratio
+        self._log(now_ns, f"monitoring:{reason}")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def sampling_active(self) -> bool:
+        return self.state == TieringState.SAMPLING
+
+    def _log(self, now_ns: float, event: str) -> None:
+        self.transitions.append((now_ns, event))

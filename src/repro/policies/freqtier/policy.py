@@ -1,0 +1,316 @@
+"""The FreqTier tiering policy (paper Sections IV-V).
+
+Workflow per the paper's Figure 4: PEBS samples of local and CXL
+accesses flow into the counting Bloom filter through the increment
+coalescer; every ``sample_batch_size`` samples one batched promotion
+pass runs (Algorithm 1); demotion is a resumable linear scan of the
+virtual address space gated by the free-memory watermarks
+(Algorithm 2, Figs. 6-7); the intensity controller adapts the sampling
+level and drops into monitoring mode when tiering stops paying off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cbf.blocked import BlockedCountingBloomFilter
+from repro.cbf.cbf import CountingBloomFilter
+from repro.cbf.coalescing import SampleCoalescer
+from repro.memsim.machine import Machine
+from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
+from repro.policies.base import TieringPolicy
+from repro.policies.freqtier.config import FreqTierConfig
+from repro.policies.freqtier.intensity import (
+    IntensityController,
+    TieringState,
+    WindowReport,
+)
+from repro.policies.freqtier.threshold import HotThresholdController
+from repro.sampling.events import AccessBatch
+from repro.sampling.pebs import PEBSSampler, SAMPLE_RECORD_BYTES
+
+
+class FreqTier(TieringPolicy):
+    """Frequency-based tiering with probabilistic tracking.
+
+    Published at ASPLOS'25 under the name **HybridTier**; the
+    :data:`repro.policies.HybridTier` alias points here.
+    """
+
+    name = "FreqTier"
+
+    def __init__(self, config: FreqTierConfig | None = None, seed: int = 0):
+        super().__init__()
+        self.config = config or FreqTierConfig()
+        self.seed = int(seed)
+        # Bound at attach():
+        self.cbf: CountingBloomFilter | None = None
+        self.coalescer: SampleCoalescer | None = None
+        self.pebs: PEBSSampler | None = None
+        self.intensity: IntensityController | None = None
+        self.threshold_ctl: HotThresholdController | None = None
+        self._scan_cursor = 0
+        self._window_accesses = 0
+        self._promoted_in_window = 0
+        self._empty_scan_in_window = False
+        self._rounds_in_window = 0
+        self._samples_since_aging = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    # -- tracking-unit translation (granularity_pages) -----------------
+
+    def _units_of(self, pages: np.ndarray) -> np.ndarray:
+        """Tracking-unit id of each page (identity at 4 KB granularity)."""
+        if self.config.granularity_pages == 1:
+            return pages
+        return np.asarray(pages, dtype=np.int64) // self.config.granularity_pages
+
+    def _pages_of_units(self, units: np.ndarray) -> np.ndarray:
+        """All page ids covered by the given tracking units."""
+        g = self.config.granularity_pages
+        if g == 1:
+            return np.asarray(units, dtype=np.int64)
+        units = np.asarray(units, dtype=np.int64)
+        offsets = np.tile(np.arange(g, dtype=np.int64), len(units))
+        return np.repeat(units * g, g) + offsets
+
+    def attach(self, machine: Machine) -> None:
+        super().attach(machine)
+        cfg = self.config
+        tracked_capacity = max(
+            1, machine.config.local_capacity_pages // cfg.granularity_pages
+        )
+        num_counters = cfg.resolve_cbf_size(tracked_capacity)
+        cbf_cls = BlockedCountingBloomFilter if cfg.blocked_cbf else CountingBloomFilter
+        self.cbf = cbf_cls(
+            num_counters,
+            num_hashes=cfg.cbf_num_hashes,
+            bits=cfg.cbf_bits,
+            seed=self.seed,
+        )
+        self.coalescer = SampleCoalescer(self.cbf)
+        # Ring sized a few batches deep (the paper's 512 KB/counter/core
+        # rule scaled to the simulated sampling volume).
+        self.pebs = PEBSSampler(
+            base_period=cfg.pebs_base_period,
+            ring_capacity=max(4 * cfg.sample_batch_size, 32_768),
+            sample_cost_ns=cfg.sample_cost_ns,
+            seed=self.seed + 1,
+        )
+        self.intensity = IntensityController(
+            stability_epsilon=cfg.stability_epsilon
+        )
+        self.threshold_ctl = HotThresholdController(
+            self.cbf,
+            tracked_capacity,
+            initial_threshold=cfg.initial_hot_threshold,
+            min_threshold=cfg.min_hot_threshold,
+            max_threshold=cfg.max_hot_threshold,
+        )
+        self.stats.metadata_bytes = (
+            self.cbf.nbytes + self.pebs.ring_capacity * SAMPLE_RECORD_BYTES
+        )
+
+    # -- main hook ----------------------------------------------------------
+
+    def on_batch(
+        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+    ) -> float:
+        assert self.pebs is not None and self.intensity is not None
+        n_local = int(np.count_nonzero(tiers == LOCAL_TIER))
+        n_cxl = batch.num_accesses - n_local
+        self.intensity.count_accesses(n_local, n_cxl)
+
+        overhead = 0.0
+        if self.intensity.sampling_active:
+            self.pebs.set_level(self.intensity.level)
+            before = self.pebs.total_samples
+            self.pebs.observe(batch, tiers)
+            overhead += self.pebs.overhead_ns(self.pebs.total_samples - before)
+            # Drain at the configured batch size -- or when the ring is
+            # full, whichever comes first (a ring smaller than the
+            # batch must not stall sampling forever).
+            drain_at = min(
+                self.config.sample_batch_size, self.pebs.ring_capacity
+            )
+            if self.pebs.pending_samples >= drain_at:
+                overhead += self._process_samples(now_ns)
+
+        self._window_accesses += batch.num_accesses
+        if self._window_accesses >= self.config.window_accesses:
+            overhead += self._close_window(now_ns)
+
+        self.stats.overhead_ns += overhead
+        return overhead
+
+    # -- windows (dynamic intensity) --------------------------------------------
+
+    def _close_window(self, now_ns: float) -> float:
+        assert self.intensity is not None and self.pebs is not None
+        overhead = 0.0
+        # Flush a partially filled sample buffer so every sampling
+        # window ends with at least one promotion pass (otherwise a
+        # slow level could starve the plateau detector).
+        if (
+            self.intensity.sampling_active
+            and self.pebs.pending_samples >= self.config.sample_batch_size // 4
+        ):
+            overhead += self._process_samples(now_ns)
+        report = WindowReport(
+            hit_ratio=None,
+            pages_promoted=self._promoted_in_window,
+            empty_demotion_scan=self._empty_scan_in_window,
+            processing_rounds=self._rounds_in_window,
+        )
+        self.intensity.end_window(report, now_ns)
+        self._window_accesses = 0
+        self._promoted_in_window = 0
+        self._empty_scan_in_window = False
+        self._rounds_in_window = 0
+        return overhead
+
+    # -- promotion (Algorithm 1) ---------------------------------------------------
+
+    def _process_samples(self, now_ns: float) -> float:
+        assert (
+            self.cbf is not None
+            and self.coalescer is not None
+            and self.pebs is not None
+            and self.threshold_ctl is not None
+        )
+        cfg = self.config
+        samples = self.pebs.drain()
+        if samples.num_samples == 0:
+            return 0.0
+        self._rounds_in_window += 1
+        unit_ids = self._units_of(samples.page_ids)
+        unique_units, freqs = self.coalescer.ingest(unit_ids)
+        overhead = unique_units.size * cfg.cbf_op_ns
+        self.stats.samples_processed += samples.num_samples
+
+        # Periodic aging keeps frequencies fresh (Section V-A).
+        self._samples_since_aging += samples.num_samples
+        if self._samples_since_aging >= cfg.aging_interval_samples:
+            self.cbf.age()
+            self._samples_since_aging = 0
+
+        threshold = self.threshold_ctl.threshold
+        hot_mask = freqs >= threshold
+        hot_units = unique_units[hot_mask].astype(np.int64)
+        if hot_units.size:
+            # Hottest first: if local DRAM cannot absorb the whole
+            # batch, the most frequent units win the free slots.
+            order = np.argsort(freqs[hot_mask])[::-1]
+            hot = self._pages_of_units(hot_units[order])
+            # Guard against units extending past the mapped space.
+            hot = hot[hot < self.machine.config.total_capacity_pages]
+            placement = self.machine.placement_of(hot)
+            candidates = hot[placement == CXL_TIER]
+            if candidates.size:
+                overhead += self._make_room(int(candidates.size))
+                promoted = self.machine.promote(candidates)
+                if promoted:
+                    overhead += cfg.effective_move_pages_ns
+                    self._promoted_in_window += promoted
+                    self._record_migrations(promoted, 0)
+
+        # One control step per processing round (Section V-C(a)).
+        self.threshold_ctl.update()
+        return overhead
+
+    # -- demotion (Algorithm 2) --------------------------------------------------------
+
+    def _make_room(self, incoming_pages: int) -> float:
+        """Watermark-gated demotion ahead of a promotion batch.
+
+        Demotes cold pages (frequency < hot threshold) found by the
+        resumable linear scan until free local memory exceeds
+        DEMOTE_WMARK and fits the incoming promotion batch.
+        """
+        machine = self.machine
+        # Room for the whole promotion batch (capped at half the local
+        # tier so one batch can never flush local DRAM wholesale), but
+        # at least up to DEMOTE_WMARK per the watermark protocol.
+        incoming = min(
+            incoming_pages, machine.config.local_capacity_pages // 2
+        )
+        want_free = max(machine.demote_wmark_pages, incoming)
+        if machine.local_free_pages >= want_free:
+            return 0.0
+        return self._demote_until(want_free)
+
+    def _demote_until(self, target_free_pages: int) -> float:
+        assert self.cbf is not None and self.threshold_ctl is not None
+        cfg = self.config
+        machine = self.machine
+        space = machine.address_space
+        table = machine.page_table
+        threshold = self.threshold_ctl.threshold
+
+        overhead = 0.0
+        to_demote: list[np.ndarray] = []
+        collected = 0
+        scanned = 0
+        scan_limit = space.total_pages  # one full pass at most per call
+        while (
+            machine.local_free_pages + collected < target_free_pages
+            and scanned < scan_limit
+        ):
+            chunk, self._scan_cursor = space.scan_from(
+                self._scan_cursor, cfg.demotion_scan_chunk_pages
+            )
+            if chunk.size == 0:
+                break
+            scanned += int(chunk.size)
+            placement = table.pagemap_read_batch(chunk)
+            overhead += cfg.effective_pagemap_read_ns
+            local_pages = chunk[placement == LOCAL_TIER]
+            if local_pages.size == 0:
+                continue
+            freqs = self.cbf.get(
+                self._units_of(local_pages).astype(np.uint64)
+            )
+            overhead += local_pages.size * cfg.cbf_op_ns
+            cold = local_pages[freqs < threshold]
+            if cold.size:
+                need = target_free_pages - machine.local_free_pages - collected
+                cold = cold[: max(need, 0)]
+                if cold.size:
+                    to_demote.append(cold)
+                    collected += int(cold.size)
+
+        if to_demote:
+            demoted = machine.demote(np.concatenate(to_demote))
+            if demoted:
+                overhead += cfg.effective_move_pages_ns
+                self._record_migrations(0, demoted)
+        elif scanned >= scan_limit:
+            # A full pass found nothing cold: local DRAM is all hot.
+            self._empty_scan_in_window = True
+        return overhead
+
+    # -- introspection ----------------------------------------------------------------------
+
+    @property
+    def hot_threshold(self) -> int:
+        assert self.threshold_ctl is not None
+        return self.threshold_ctl.threshold
+
+    @property
+    def state(self) -> TieringState:
+        assert self.intensity is not None
+        return self.intensity.state
+
+    def describe(self) -> dict[str, object]:
+        base = super().describe()
+        if self.cbf is not None:
+            base.update(
+                {
+                    "cbf_counters": self.cbf.num_counters,
+                    "cbf_bytes": self.cbf.nbytes,
+                    "blocked_cbf": self.config.blocked_cbf,
+                    "hot_threshold": self.hot_threshold,
+                }
+            )
+        return base

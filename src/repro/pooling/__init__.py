@@ -1,0 +1,23 @@
+"""Multi-host CXL memory pooling (paper Section VIII-b).
+
+The paper evaluates single-machine CXL expansion and names multi-host
+pooling (CXL 2.0/3.0) as the natural extension: "Fundamentally,
+FreqTier aims to address the problem of identifying hot/cold data,
+which is also applicable to multi-host tiering."
+
+This package provides that extension over the same substrate:
+
+- :class:`~repro.pooling.pool.CXLPool` -- a capacity pool partitioned
+  into per-host shares, with demand-driven rebalancing;
+- :class:`~repro.pooling.multihost.MultiHostSimulation` -- several
+  hosts, each with its own local DRAM, workload and tiering policy,
+  drawing CXL capacity from one shared pool.
+
+Each host's FreqTier instance runs unchanged -- hot/cold
+identification is host-local; only capacity moves between hosts.
+"""
+
+from repro.pooling.multihost import HostSpec, MultiHostSimulation
+from repro.pooling.pool import CXLPool
+
+__all__ = ["CXLPool", "HostSpec", "MultiHostSimulation"]

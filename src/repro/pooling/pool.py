@@ -1,0 +1,133 @@
+"""A shared CXL capacity pool with demand-driven rebalancing.
+
+Models the CXL 2.0/3.0 pooling primitive at the capacity level: a
+fixed number of pool pages is partitioned into per-host shares; the
+pool manager periodically moves *free* capacity from hosts with slack
+toward hosts under memory pressure.  (Bandwidth sharing across hosts
+is out of scope -- the paper's discussion is about capacity and
+hot/cold identification.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PoolShare:
+    """One host's slice of the pool."""
+
+    host: str
+    granted_pages: int
+    used_pages: int = 0
+
+    @property
+    def free_pages(self) -> int:
+        return self.granted_pages - self.used_pages
+
+
+class CXLPool:
+    """Fixed-capacity pool partitioned among hosts."""
+
+    def __init__(self, total_pages: int):
+        if total_pages <= 0:
+            raise ValueError(f"total_pages must be > 0, got {total_pages}")
+        self.total_pages = int(total_pages)
+        self._shares: dict[str, PoolShare] = {}
+        self.rebalances = 0
+        self.pages_moved = 0
+
+    # -- membership --------------------------------------------------------
+
+    def register_host(self, host: str, granted_pages: int) -> PoolShare:
+        if host in self._shares:
+            raise ValueError(f"host {host!r} already registered")
+        if granted_pages <= 0:
+            raise ValueError(f"granted_pages must be > 0, got {granted_pages}")
+        if self.granted_total + granted_pages > self.total_pages:
+            raise ValueError(
+                f"grant of {granted_pages} exceeds pool remainder "
+                f"{self.total_pages - self.granted_total}"
+            )
+        share = PoolShare(host=host, granted_pages=int(granted_pages))
+        self._shares[host] = share
+        return share
+
+    @property
+    def granted_total(self) -> int:
+        return sum(s.granted_pages for s in self._shares.values())
+
+    @property
+    def unallocated_pages(self) -> int:
+        return self.total_pages - self.granted_total
+
+    def share_of(self, host: str) -> PoolShare:
+        return self._shares[host]
+
+    def shares(self) -> tuple[PoolShare, ...]:
+        return tuple(self._shares.values())
+
+    # -- usage updates -------------------------------------------------------
+
+    def report_usage(self, host: str, used_pages: int) -> None:
+        share = self._shares[host]
+        if used_pages < 0 or used_pages > share.granted_pages:
+            raise ValueError(
+                f"used_pages {used_pages} outside [0, {share.granted_pages}] "
+                f"for host {host!r}"
+            )
+        share.used_pages = int(used_pages)
+
+    # -- rebalancing -----------------------------------------------------------
+
+    def rebalance(
+        self, pressure_margin_frac: float = 0.05, transfer_quantum: int = 64
+    ) -> dict[str, int]:
+        """Move free capacity from slack hosts toward pressured hosts.
+
+        A host is *pressured* when its free share is below
+        ``pressure_margin_frac`` of its grant; a host has *slack* when
+        its free share exceeds twice that margin plus the quantum.
+        Returns ``{host: grant_delta}`` for the hosts changed.
+        """
+        deltas: dict[str, int] = {}
+        pressured = [
+            s
+            for s in self._shares.values()
+            if s.free_pages < pressure_margin_frac * s.granted_pages
+        ]
+        slack = [
+            s
+            for s in self._shares.values()
+            if s.free_pages
+            > 2 * pressure_margin_frac * s.granted_pages + transfer_quantum
+        ]
+        if not pressured:
+            return deltas
+        self.rebalances += 1
+        # Unallocated pool pages first, then donations from slack hosts.
+        for needy in sorted(pressured, key=lambda s: s.free_pages):
+            want = transfer_quantum
+            take = min(want, self.unallocated_pages)
+            if take > 0:
+                needy.granted_pages += take
+                deltas[needy.host] = deltas.get(needy.host, 0) + take
+                self.pages_moved += take
+                want -= take
+            while want > 0 and slack:
+                donor = max(slack, key=lambda s: s.free_pages)
+                give = min(
+                    want,
+                    donor.free_pages
+                    - int(2 * pressure_margin_frac * donor.granted_pages),
+                )
+                if give <= 0:
+                    slack.remove(donor)
+                    continue
+                donor.granted_pages -= give
+                needy.granted_pages += give
+                deltas[donor.host] = deltas.get(donor.host, 0) - give
+                deltas[needy.host] = deltas.get(needy.host, 0) + give
+                self.pages_moved += give
+                want -= give
+        return deltas

@@ -1,0 +1,29 @@
+"""Access-observation substrate.
+
+How a tiering policy *sees* memory accesses:
+
+- :class:`~repro.sampling.pebs.PEBSSampler` -- the hardware-counter
+  sampler FreqTier and HeMem use (paper Section IV-A step 3): uniform
+  subsampling of the access stream at one of three rates, with bounded
+  ring buffers that drop samples under overload.
+- :class:`~repro.sampling.perf_stat.PerfStatCounter` -- counting-only
+  hit-ratio monitoring used by FreqTier's low-overhead monitoring mode
+  (paper Section V-B2).
+- :class:`~repro.sampling.recency.HintFaultScanner` -- the AutoNUMA/TPP
+  scan-window + hint-fault mechanism (paper Section II-C1).
+"""
+
+from repro.sampling.events import AccessBatch, SampleBatch
+from repro.sampling.pebs import PEBSSampler, SamplingLevel
+from repro.sampling.perf_stat import PerfStatCounter
+from repro.sampling.recency import HintFault, HintFaultScanner
+
+__all__ = [
+    "AccessBatch",
+    "HintFault",
+    "HintFaultScanner",
+    "PEBSSampler",
+    "PerfStatCounter",
+    "SampleBatch",
+    "SamplingLevel",
+]

@@ -1,0 +1,93 @@
+"""Event types flowing between workload, sampler and policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AccessBatch:
+    """One batch of application memory activity.
+
+    The workload generators emit these; the engine services them
+    against the machine and shows them to the policy's sampler.
+
+    Attributes
+    ----------
+    page_ids:
+        Page id of every L3-missing memory access in the batch, in
+        program order (int64 array).
+    num_ops:
+        Application-level operations (cache GETs, graph iterations,
+        boosting-round fractions) the batch represents; used for
+        throughput and per-op latency accounting.
+    cpu_ns:
+        Pure compute time of the batch (instructions that overlap no
+        L3 miss).
+    label:
+        Optional phase tag (e.g. "warmup", "phase2") for analysis.
+    bytes_per_access:
+        Bytes actually transferred per emitted access, for bandwidth
+        accounting.  64 (one line) for pointer-chasing patterns; page
+        traces that stand for bulk reads (e.g. a CacheLib item page)
+        use larger values.
+    """
+
+    page_ids: np.ndarray
+    num_ops: float
+    cpu_ns: float
+    label: str = ""
+    bytes_per_access: float = 64.0
+
+    def __post_init__(self) -> None:
+        self.page_ids = np.asarray(self.page_ids, dtype=np.int64)
+        if self.num_ops < 0:
+            raise ValueError(f"num_ops must be >= 0, got {self.num_ops}")
+        if self.cpu_ns < 0:
+            raise ValueError(f"cpu_ns must be >= 0, got {self.cpu_ns}")
+        if self.bytes_per_access <= 0:
+            raise ValueError(
+                f"bytes_per_access must be > 0, got {self.bytes_per_access}"
+            )
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.page_ids.size)
+
+
+@dataclass
+class SampleBatch:
+    """Access samples delivered to a policy by its sampler.
+
+    ``tiers[i]`` is the tier code of ``page_ids[i]`` at sampling time,
+    so policies can compute the sampled local-DRAM hit ratio without a
+    second page-table walk (PEBS distinguishes local vs CXL events via
+    separate hardware counters).
+    """
+
+    page_ids: np.ndarray
+    tiers: np.ndarray
+    #: Samples dropped because the ring buffer overflowed.
+    lost: int = 0
+
+    def __post_init__(self) -> None:
+        self.page_ids = np.asarray(self.page_ids, dtype=np.int64)
+        self.tiers = np.asarray(self.tiers, dtype=np.int64)
+        if self.page_ids.shape != self.tiers.shape:
+            raise ValueError(
+                f"page_ids and tiers must align: {self.page_ids.shape} "
+                f"vs {self.tiers.shape}"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.page_ids.size)
+
+    @staticmethod
+    def empty() -> "SampleBatch":
+        return SampleBatch(
+            page_ids=np.zeros(0, dtype=np.int64),
+            tiers=np.zeros(0, dtype=np.int64),
+        )

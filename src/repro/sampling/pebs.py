@@ -1,0 +1,168 @@
+"""PEBS-style hardware access sampling (paper Sections IV-A, V-B2).
+
+FreqTier programs two PEBS counters per core -- one for local-DRAM
+loads, one for CXL loads -- and drains their ring buffers from the
+tiering thread.  The essential statistical property is that PEBS is a
+(nearly) uniform sampler of the L3-miss stream, so the simulator's
+analogue subsamples the simulated access stream with the same
+three-level rate scheme:
+
+- ``SamplingLevel.HIGH``   -- the paper's 100 kHz,
+- ``SamplingLevel.MEDIUM`` -- 10 kHz,
+- ``SamplingLevel.LOW``    -- 1 kHz,
+
+each level sampling 10x fewer accesses than the previous one.  The
+ring buffer is bounded (the paper sizes 512 KB per counter per core);
+samples beyond its capacity within one drain interval are lost, which
+matters at high access rates and is reported via
+:attr:`SampleBatch.lost`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.sampling.events import AccessBatch, SampleBatch
+
+#: Bytes per PEBS record (paper Section VII-E2: 16 bytes per sample).
+SAMPLE_RECORD_BYTES = 16
+
+#: Default ring capacity: 512 KB x 16 cores x 2 counters / 16 B/record.
+DEFAULT_RING_CAPACITY = (512 * 1024 * 16 * 2) // SAMPLE_RECORD_BYTES
+
+
+class SamplingLevel(enum.IntEnum):
+    """The three sampling intensities of Section V-B2 (plus OFF)."""
+
+    OFF = 0
+    LOW = 1  # 1 kHz
+    MEDIUM = 2  # 10 kHz
+    HIGH = 3  # 100 kHz
+
+    @property
+    def nominal_hz(self) -> int:
+        return {0: 0, 1: 1_000, 2: 10_000, 3: 100_000}[int(self)]
+
+
+class PEBSSampler:
+    """Uniform subsampler of the access stream with a bounded ring buffer.
+
+    Parameters
+    ----------
+    base_period:
+        Number of accesses per sample at ``HIGH`` level.  Each level
+        below HIGH multiplies the period by 10 (matching the paper's
+        100/10/1 kHz ladder).
+    ring_capacity:
+        Maximum samples held between :meth:`drain` calls.
+    sample_cost_ns:
+        Modeled CPU cost per collected sample (PEBS assist + record
+        parse); drives the sampling tax in the cost model.
+    seed:
+        Seed for the Bernoulli thinning.
+    """
+
+    def __init__(
+        self,
+        base_period: int = 64,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        sample_cost_ns: float = 120.0,
+        seed: int = 0,
+    ):
+        if base_period < 1:
+            raise ValueError(f"base_period must be >= 1, got {base_period}")
+        if ring_capacity < 1:
+            raise ValueError(f"ring_capacity must be >= 1, got {ring_capacity}")
+        self.base_period = int(base_period)
+        self.ring_capacity = int(ring_capacity)
+        self.sample_cost_ns = float(sample_cost_ns)
+        self.level = SamplingLevel.HIGH
+        self._rng = np.random.default_rng(seed)
+        self._pending_pages: list[np.ndarray] = []
+        self._pending_tiers: list[np.ndarray] = []
+        self._pending_count = 0
+        self._lost = 0
+        self.total_samples = 0
+        self.total_lost = 0
+
+    # -- level control -----------------------------------------------------
+
+    def set_level(self, level: SamplingLevel) -> None:
+        self.level = SamplingLevel(level)
+
+    @property
+    def period(self) -> int | None:
+        """Accesses per sample at the current level (None when OFF)."""
+        if self.level == SamplingLevel.OFF:
+            return None
+        steps_below_high = SamplingLevel.HIGH - self.level
+        return self.base_period * (10**steps_below_high)
+
+    @property
+    def sampling_probability(self) -> float:
+        period = self.period
+        return 0.0 if period is None else 1.0 / period
+
+    # -- observation ----------------------------------------------------------
+
+    def observe(self, batch: AccessBatch, tiers: np.ndarray) -> None:
+        """Show an access batch (with placement at access time) to the sampler.
+
+        A Bernoulli(1/period) subsample of the accesses lands in the
+        ring buffer; overflow beyond ``ring_capacity`` is dropped and
+        counted as lost.
+        """
+        prob = self.sampling_probability
+        if prob <= 0.0 or batch.num_accesses == 0:
+            return
+        mask = self._rng.random(batch.num_accesses) < prob
+        n_hit = int(np.count_nonzero(mask))
+        if n_hit == 0:
+            return
+        space = self.ring_capacity - self._pending_count
+        if space <= 0:
+            self._lost += n_hit
+            self.total_lost += n_hit
+            return
+        sampled_pages = batch.page_ids[mask]
+        sampled_tiers = np.asarray(tiers, dtype=np.int64)[mask]
+        if n_hit > space:
+            self._lost += n_hit - space
+            self.total_lost += n_hit - space
+            sampled_pages = sampled_pages[:space]
+            sampled_tiers = sampled_tiers[:space]
+            n_hit = space
+        self._pending_pages.append(sampled_pages)
+        self._pending_tiers.append(sampled_tiers)
+        self._pending_count += n_hit
+        self.total_samples += n_hit
+
+    # -- draining -----------------------------------------------------------------
+
+    @property
+    def pending_samples(self) -> int:
+        return self._pending_count
+
+    def drain(self) -> SampleBatch:
+        """Hand all buffered samples to the policy and empty the ring."""
+        if self._pending_count == 0:
+            out = SampleBatch.empty()
+            out.lost = self._lost
+            self._lost = 0
+            return out
+        pages = np.concatenate(self._pending_pages)
+        tiers = np.concatenate(self._pending_tiers)
+        out = SampleBatch(page_ids=pages, tiers=tiers, lost=self._lost)
+        self._pending_pages.clear()
+        self._pending_tiers.clear()
+        self._pending_count = 0
+        self._lost = 0
+        return out
+
+    # -- overhead accounting ------------------------------------------------------
+
+    def overhead_ns(self, num_samples: int) -> float:
+        """Modeled CPU tax for collecting ``num_samples`` samples."""
+        return num_samples * self.sample_cost_ns

@@ -1,0 +1,384 @@
+"""GAP benchmark kernels (BC, BFS, CC, + PageRank) as page-granular traces.
+
+The paper evaluates three GAP kernels on a Kronecker graph (Table I);
+PageRank is included as an extension.  The kernels are *actually
+executed* over the CSR graph from
+:mod:`~repro.workloads.kronecker`, and every array touched during
+execution is mapped onto machine pages so the tiering policies see the
+genuine access pattern: hub-heavy neighbor-list gathers, streaming CSR
+scans, and random property-array accesses.
+
+Memory layout (one region per array, mirroring the GAP C++ layout):
+
+- ``indptr``  -- int64 CSR row pointers,
+- ``indices`` -- int32 CSR column indices,
+- per-kernel property arrays (parent / component / sigma / delta ...).
+
+Accesses are emitted at cache-line granularity (one access per 64-byte
+line touched), matching how the hardware counters in the paper's setup
+observe traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro._units import PAGE_SIZE
+from repro.memsim.machine import Machine
+from repro.sampling.events import AccessBatch
+from repro.workloads.kronecker import CSRGraph, generate_kronecker
+from repro.workloads.spec import Workload
+
+#: Bytes per cache line (one emitted access covers one line).
+LINE = 64
+
+#: Modeled compute per emitted access (address arithmetic etc.), ns.
+CPU_NS_PER_ACCESS = 4.0
+
+KERNELS = ("bfs", "cc", "bc", "pr")
+
+#: PageRank parameters (GAP defaults).
+PR_DAMPING = 0.85
+PR_ITERATIONS = 10
+
+
+def _lines_of_ranges(
+    byte_starts: np.ndarray, byte_lens: np.ndarray
+) -> np.ndarray:
+    """Cache-line ids touched by the byte ranges (one id per line).
+
+    Expands each ``[start, start+len)`` range into the 64-byte line
+    indices it covers.  Vectorized via the repeat/cumsum expansion.
+    """
+    byte_starts = np.asarray(byte_starts, dtype=np.int64)
+    byte_lens = np.asarray(byte_lens, dtype=np.int64)
+    keep = byte_lens > 0
+    byte_starts, byte_lens = byte_starts[keep], byte_lens[keep]
+    if byte_starts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    first = byte_starts // LINE
+    last = (byte_starts + byte_lens - 1) // LINE
+    counts = last - first + 1
+    total = int(counts.sum())
+    offsets = np.arange(total) - np.repeat(
+        np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+    )
+    return np.repeat(first, counts) + offsets
+
+
+class _Array:
+    """A simulated array living in one machine region."""
+
+    def __init__(self, elem_bytes: int, num_elems: int):
+        self.elem_bytes = elem_bytes
+        self.num_elems = num_elems
+        self.start_page = 0  # set at setup()
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self.num_elems * self.elem_bytes // PAGE_SIZE)
+
+    def pages_of_elements(self, elems: np.ndarray) -> np.ndarray:
+        """Page ids for random accesses to ``elems`` (one line each)."""
+        elems = np.asarray(elems, dtype=np.int64)
+        lines = (elems * self.elem_bytes) // LINE
+        return self.start_page + (lines * LINE) // PAGE_SIZE
+
+    def pages_of_ranges(
+        self, starts: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        """Page ids (one per line) for element ranges [start, start+len)."""
+        lines = _lines_of_ranges(
+            np.asarray(starts, dtype=np.int64) * self.elem_bytes,
+            np.asarray(lens, dtype=np.int64) * self.elem_bytes,
+        )
+        return self.start_page + (lines * LINE) // PAGE_SIZE
+
+
+class GapWorkload(Workload):
+    """One GAP kernel run repeatedly as trials (paper Table IV).
+
+    Parameters
+    ----------
+    kernel:
+        ``"bfs"``, ``"cc"``, ``"bc"`` or ``"pr"`` (PageRank, an
+        extension beyond the paper's three kernels).
+    scale:
+        Kronecker scale (``2**scale`` nodes).
+    avg_degree:
+        Undirected edges per node (the paper uses 4).
+    num_trials:
+        Kernel repetitions (different BFS/BC sources per trial).
+    """
+
+    def __init__(
+        self,
+        kernel: str,
+        scale: int = 16,
+        avg_degree: int = 4,
+        num_trials: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        self.kernel = kernel
+        self.name = f"gap-{kernel}"
+        self.num_trials = int(num_trials)
+        self.graph: CSRGraph = generate_kronecker(scale, avg_degree, seed=seed)
+        n = self.graph.num_nodes
+        self._indptr_arr = _Array(8, n + 1)
+        self._indices_arr = _Array(4, self.graph.num_directed_edges)
+        # Property arrays: BFS parent / CC component / BC sigma+delta+level.
+        self._prop32 = _Array(4, n)
+        self._prop64_a = _Array(8, n)
+        self._prop64_b = _Array(8, n)
+        self._rng = np.random.default_rng(seed + 7)
+        self._degrees = np.diff(self.graph.indptr).astype(np.int64)
+        #: Kernel outputs of the most recent trial (verification hook):
+        #: bfs -> {"parent"}; cc -> {"comp"}; bc -> {"sigma", "level",
+        #: "delta"}; pr -> {"rank"}.
+        self.last_kernel_state: dict[str, np.ndarray] = {}
+
+    @property
+    def footprint_pages(self) -> int:
+        return (
+            self._indptr_arr.num_pages
+            + self._indices_arr.num_pages
+            + self._prop32.num_pages
+            + self._prop64_a.num_pages
+            + self._prop64_b.num_pages
+        )
+
+    def setup(self, machine: Machine) -> None:
+        for arr, label in (
+            (self._indptr_arr, "indptr"),
+            (self._indices_arr, "indices"),
+            (self._prop32, "prop32"),
+            (self._prop64_a, "prop64a"),
+            (self._prop64_b, "prop64b"),
+        ):
+            region = machine.allocate(arr.num_pages, name=f"gap-{label}")
+            arr.start_page = region.start_page
+        self._machine = machine
+
+    # -- trace emission ------------------------------------------------------
+
+    def _pick_source(self) -> int:
+        """A random non-isolated source node (GAP requires degree > 0)."""
+        degrees = self.graph.degrees()
+        for __ in range(64):
+            node = int(self._rng.integers(0, self.graph.num_nodes))
+            if degrees[node] > 0:
+                return node
+        # Fall back to the highest-degree node (always connected).
+        return int(np.argmax(degrees))
+
+    def batches(self) -> Iterator[AccessBatch]:
+        for trial in range(self.num_trials):
+            source = self._pick_source()
+            if self.kernel == "bfs":
+                yield from self._bfs_trace(source, trial)
+            elif self.kernel == "cc":
+                yield from self._cc_trace(trial)
+            elif self.kernel == "pr":
+                yield from self._pr_trace(trial)
+            else:
+                yield from self._bc_trace(source, trial)
+
+    def _emit(self, pages: list[np.ndarray], trial: int) -> AccessBatch:
+        all_pages = np.concatenate(pages) if pages else np.zeros(0, dtype=np.int64)
+        self._rng.shuffle(all_pages)
+        return AccessBatch(
+            page_ids=all_pages,
+            num_ops=0.0,
+            cpu_ns=all_pages.size * CPU_NS_PER_ACCESS,
+            label=f"trial{trial}",
+        )
+
+    def _gather_neighbors(
+        self, frontier: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """All neighbors of ``frontier`` plus the pages touched to read them."""
+        starts = self.graph.indptr[frontier]
+        ends = self.graph.indptr[frontier + 1]
+        counts = (ends - starts).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64), [
+                self._indptr_arr.pages_of_elements(frontier)
+            ]
+        offsets = np.arange(total) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+        )
+        edge_idx = np.repeat(starts, counts) + offsets
+        neighbors = self.graph.indices[edge_idx].astype(np.int64)
+        pages = [
+            self._indptr_arr.pages_of_elements(frontier),
+            self._indices_arr.pages_of_ranges(starts, counts),
+        ]
+        return neighbors, pages
+
+    # -- BFS (direction-optimizing omitted; top-down level-synchronous) ----------
+
+    def _bfs_trace(self, source: int, trial: int) -> Iterator[AccessBatch]:
+        n = self.graph.num_nodes
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[source] = source
+        frontier = np.array([source], dtype=np.int64)
+        while frontier.size:
+            neighbors, pages = self._gather_neighbors(frontier)
+            if neighbors.size:
+                # Reading parent[] of every neighbor to test visited.
+                pages.append(self._prop32.pages_of_elements(neighbors))
+                fresh = np.unique(neighbors[parent[neighbors] < 0])
+                if fresh.size:
+                    parent[fresh] = frontier[0]  # representative parent
+                    pages.append(self._prop32.pages_of_elements(fresh))
+                frontier = fresh
+            else:
+                frontier = np.zeros(0, dtype=np.int64)
+            yield self._emit(pages, trial)
+        self.last_kernel_state = {
+            "parent": parent,
+            "source": np.array([source]),
+        }
+
+    # -- Connected components (Shiloach-Vishkin style label propagation) ----------
+
+    def _cc_trace(self, trial: int) -> Iterator[AccessBatch]:
+        n = self.graph.num_nodes
+        comp = np.arange(n, dtype=np.int64)
+        graph = self.graph
+        # Precompute the per-edge source ids once (the CSR scan order).
+        edge_src = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(graph.indptr).astype(np.int64)
+        )
+        edge_dst = graph.indices.astype(np.int64)
+        for _ in range(64):  # safety bound; converges much sooner
+            old = comp.copy()
+            # comp[dst] = min(comp[dst], comp[src]) over the full edge scan.
+            np.minimum.at(comp, edge_dst, comp[edge_src])
+            comp = comp[comp]  # pointer jumping
+            pages = [
+                # Streaming scan of the full CSR.
+                self._indptr_arr.pages_of_ranges(
+                    np.array([0]), np.array([n + 1])
+                ),
+                self._indices_arr.pages_of_ranges(
+                    np.array([0]), np.array([graph.num_directed_edges])
+                ),
+                # Random gathers/scatters on the component array: sample
+                # one line access per 16 edge endpoints (line reuse).
+                self._prop32.pages_of_elements(edge_dst[:: 16]),
+                self._prop32.pages_of_elements(edge_src[:: 16]),
+            ]
+            yield self._emit(pages, trial)
+            if np.array_equal(old, comp):
+                break
+        self.last_kernel_state = {"comp": comp}
+
+    # -- PageRank (power iteration, GAP defaults) -----------------------------------
+
+    def _pr_trace(self, trial: int) -> Iterator[AccessBatch]:
+        """Power-iteration PageRank: full CSR scans + rank gathers."""
+        n = self.graph.num_nodes
+        graph = self.graph
+        degrees = np.maximum(graph.degrees().astype(np.float64), 1.0)
+        rank = np.full(n, 1.0 / n, dtype=np.float64)
+        edge_src = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(graph.indptr).astype(np.int64)
+        )
+        edge_dst = graph.indices.astype(np.int64)
+        base = (1.0 - PR_DAMPING) / n
+        for _ in range(PR_ITERATIONS):
+            contrib = rank[edge_src] / degrees[edge_src]
+            incoming = np.zeros(n, dtype=np.float64)
+            np.add.at(incoming, edge_dst, contrib)
+            rank = base + PR_DAMPING * incoming
+            pages = [
+                self._indptr_arr.pages_of_ranges(np.array([0]), np.array([n + 1])),
+                self._indices_arr.pages_of_ranges(
+                    np.array([0]), np.array([graph.num_directed_edges])
+                ),
+                # Rank gathers (reads of src ranks) and scatters (dst
+                # accumulation), line-sampled like the CC kernel.
+                self._prop64_a.pages_of_elements(edge_src[:: 8]),
+                self._prop64_b.pages_of_elements(edge_dst[:: 8]),
+            ]
+            yield self._emit(pages, trial)
+        self.last_kernel_state = {"rank": rank}
+
+    # -- Betweenness centrality (Brandes, level-synchronous) ------------------------
+
+    def _bc_trace(self, source: int, trial: int) -> Iterator[AccessBatch]:
+        n = self.graph.num_nodes
+        level = np.full(n, -1, dtype=np.int64)
+        sigma = np.zeros(n, dtype=np.float64)
+        level[source] = 0
+        sigma[source] = 1.0
+        frontier = np.array([source], dtype=np.int64)
+        levels: list[np.ndarray] = [frontier]
+        depth = 0
+        # Forward phase: BFS counting shortest paths.
+        while frontier.size:
+            neighbors, pages = self._gather_neighbors(frontier)
+            if neighbors.size:
+                pages.append(self._prop64_a.pages_of_elements(neighbors))
+                src_sigma = np.repeat(
+                    sigma[frontier],
+                    self._degrees[frontier],
+                )
+                undiscovered = level[neighbors] < 0
+                on_next = level[neighbors] == depth + 1
+                contribute = undiscovered | on_next
+                np.add.at(sigma, neighbors[contribute], src_sigma[contribute])
+                fresh = np.unique(neighbors[undiscovered])
+                if fresh.size:
+                    level[fresh] = depth + 1
+                    pages.append(self._prop32.pages_of_elements(fresh))
+                frontier = fresh
+            else:
+                frontier = np.zeros(0, dtype=np.int64)
+            if frontier.size:
+                levels.append(frontier)
+            depth += 1
+            yield self._emit(pages, trial)
+        # Backward phase: dependency accumulation, deepest level first.
+        delta = np.zeros(n, dtype=np.float64)
+        for front in reversed(levels[1:]):
+            neighbors, pages = self._gather_neighbors(front)
+            if neighbors.size:
+                counts = self._degrees[front]
+                owner = np.repeat(front, counts)
+                predecessor = level[neighbors] == level[owner] - 1
+                if predecessor.any():
+                    contrib = (
+                        sigma[neighbors[predecessor]]
+                        / np.maximum(sigma[owner[predecessor]], 1e-12)
+                        * (1.0 + delta[owner[predecessor]])
+                    )
+                    np.add.at(delta, neighbors[predecessor], contrib)
+                pages.append(self._prop64_a.pages_of_elements(neighbors))
+                pages.append(self._prop64_b.pages_of_elements(owner[:: 4]))
+            yield self._emit(pages, trial)
+        self.last_kernel_state = {
+            "sigma": sigma,
+            "level": level,
+            "delta": delta,
+            "source": np.array([source]),
+        }
+
+    def describe(self) -> dict[str, object]:
+        base = super().describe()
+        base.update(
+            {
+                "kernel": self.kernel,
+                "num_nodes": self.graph.num_nodes,
+                "num_directed_edges": self.graph.num_directed_edges,
+                "num_trials": self.num_trials,
+            }
+        )
+        return base

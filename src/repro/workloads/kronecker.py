@@ -1,0 +1,103 @@
+"""Kronecker (R-MAT) graph generation in CSR form.
+
+The paper's GAP experiments run on a Kronecker power-law graph with
+2 billion nodes and 8 billion edges (average degree 4).  We generate
+the same family at reduced scale using the standard R-MAT recursive
+quadrant procedure with the GAP-default parameters
+``(A, B, C) = (0.57, 0.19, 0.19)``, which yields the skewed degree
+distribution (a few super-hubs, many leaves) that makes graph
+analytics tiering-friendly (paper Section II-B).
+
+Generation is fully vectorized: all edges choose their ``scale``
+quadrant bits at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: GAP benchmark R-MAT parameters.
+RMAT_A, RMAT_B, RMAT_C = 0.57, 0.19, 0.19
+
+
+@dataclass
+class CSRGraph:
+    """Compressed-sparse-row graph (undirected edges stored both ways)."""
+
+    indptr: np.ndarray  # int64, len num_nodes + 1
+    indices: np.ndarray  # int32, len num_edges_directed
+    num_nodes: int
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.indices.size)
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the CSR arrays (drives the page-layout footprint)."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+
+def _rmat_edges(
+    scale: int, num_edges: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``num_edges`` R-MAT edge endpoints for a 2**scale node graph."""
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(num_edges)
+        # Quadrants: A = (0,0), B = (0,1), C = (1,0), D = (1,1).
+        go_down = r >= RMAT_A + RMAT_B  # C or D: src bit set
+        go_right = ((r >= RMAT_A) & (r < RMAT_A + RMAT_B)) | (
+            r >= RMAT_A + RMAT_B + RMAT_C
+        )  # B or D: dst bit set
+        src |= go_down.astype(np.int64) << bit
+        dst |= go_right.astype(np.int64) << bit
+    return src, dst
+
+
+def generate_kronecker(
+    scale: int, avg_degree: int = 4, seed: int = 0
+) -> CSRGraph:
+    """Generate an undirected Kronecker graph as CSR.
+
+    ``scale`` gives ``2**scale`` nodes; ``avg_degree`` undirected edges
+    per node are drawn (so the CSR stores ``2 * avg_degree * n``
+    directed entries before dedup; duplicates and self-loops are kept,
+    as in the GAP generator's default behaviour for Kronecker inputs).
+    """
+    if scale < 1 or scale > 30:
+        raise ValueError(f"scale must be in [1, 30], got {scale}")
+    if avg_degree < 1:
+        raise ValueError(f"avg_degree must be >= 1, got {avg_degree}")
+    rng = np.random.default_rng(seed)
+    num_nodes = 1 << scale
+    num_edges = num_nodes * avg_degree
+    src, dst = _rmat_edges(scale, num_edges, rng)
+
+    # Symmetrize: store each edge in both directions.
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    order = np.argsort(all_src, kind="stable")
+    all_src = all_src[order]
+    all_dst = all_dst[order]
+
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    counts = np.bincount(all_src, minlength=num_nodes)
+    indptr[1:] = np.cumsum(counts)
+    return CSRGraph(
+        indptr=indptr,
+        indices=all_dst.astype(np.int32),
+        num_nodes=num_nodes,
+    )

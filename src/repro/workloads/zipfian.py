@@ -1,0 +1,105 @@
+"""Fast Zipfian sampling.
+
+Large-memory workloads exhibit Zipfian access popularity (paper
+Section II-B, after the Twitter and Meta cache studies): the access
+probability of the item with popularity rank ``r`` is proportional to
+``r^-alpha``.  :class:`ZipfianSampler` draws item *ids* (not ranks)
+from that law over a fixed universe:
+
+- the rank->probability table is precomputed once and sampled by
+  inverse-CDF (``searchsorted`` on uniforms), so drawing a million
+  samples is two vectorized ops;
+- a seeded permutation maps ranks to item ids, scattering hot items
+  across the id space the way hot pages scatter across a real heap
+  (without this, hot data would be contiguous and linear scans would
+  see an unrealistically easy layout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfianSampler:
+    """Samples item ids with Zipf(alpha) popularity over ``num_items``."""
+
+    def __init__(
+        self,
+        num_items: int,
+        alpha: float,
+        seed: int = 0,
+        permute: bool = True,
+    ):
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1, got {num_items}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.num_items = int(num_items)
+        self.alpha = float(alpha)
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, self.num_items + 1, dtype=np.float64)
+        weights = ranks**-alpha
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        if permute:
+            self._rank_to_item = self._rng.permutation(self.num_items)
+        else:
+            self._rank_to_item = np.arange(self.num_items)
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` item ids (int64) from the Zipf law."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if size == 0:
+            return np.zeros(0, dtype=np.int64)
+        uniforms = self._rng.random(size)
+        ranks = np.searchsorted(self._cdf, uniforms, side="right")
+        return self._rank_to_item[ranks].astype(np.int64)
+
+    def sample_ranks(self, size: int) -> np.ndarray:
+        """Draw popularity *ranks* (0-based, 0 = hottest)."""
+        if size == 0:
+            return np.zeros(0, dtype=np.int64)
+        uniforms = self._rng.random(size)
+        return np.searchsorted(self._cdf, uniforms, side="right").astype(np.int64)
+
+    def item_of_rank(self, rank: int) -> int:
+        """The item id occupying popularity rank ``rank``."""
+        return int(self._rank_to_item[rank])
+
+    def top_items(self, count: int) -> np.ndarray:
+        """Item ids of the ``count`` hottest ranks."""
+        return self._rank_to_item[:count].astype(np.int64)
+
+    def reassign_ranks(self, num_swaps: int) -> int:
+        """Churn: swap ``num_swaps`` random pairs in the rank->item map.
+
+        Models key-popularity churn (paper Section VII-D: CacheLib
+        workloads "experience a high degree of churn"): items trade
+        popularity ranks, so previously hot items cool down and cold
+        ones heat up, without changing the overall distribution shape.
+        Returns the number of swaps performed.
+        """
+        if num_swaps <= 0:
+            return 0
+        a = self._rng.integers(0, self.num_items, size=num_swaps)
+        b = self._rng.integers(0, self.num_items, size=num_swaps)
+        for i, j in zip(a, b):
+            self._rank_to_item[i], self._rank_to_item[j] = (
+                self._rank_to_item[j],
+                self._rank_to_item[i],
+            )
+        return int(num_swaps)
+
+    def mass_of_top_fraction(self, fraction: float) -> float:
+        """Access probability mass of the hottest ``fraction`` of items.
+
+        E.g. the paper's reference point: Zipf(0.9) puts ~80% of
+        accesses on the top 10% of items.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        k = int(round(fraction * self.num_items))
+        if k == 0:
+            return 0.0
+        return float(self._cdf[k - 1])

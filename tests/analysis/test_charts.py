@@ -1,0 +1,44 @@
+"""Tests for the text chart helpers."""
+
+from repro.analysis.charts import hbar_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([0.1, 0.5, 0.9])) == 3
+
+    def test_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_flat_series(self):
+        assert sparkline([0.5, 0.5]) == "@@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert line in "=+"  # mid-scale glyph
+
+
+class TestHBarChart:
+    def test_rows_and_labels(self):
+        out = hbar_chart([("alpha", 1.0), ("b", 0.5)])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha")
+        # Longest bar belongs to the max value.
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_value_formatting(self):
+        out = hbar_chart([("x", 0.42)], fmt="{:.0%}")
+        assert "42%" in out
+
+    def test_empty(self):
+        assert hbar_chart([]) == ""
+
+    def test_zero_values(self):
+        out = hbar_chart([("x", 0.0)])
+        assert "#" not in out

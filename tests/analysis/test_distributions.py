@@ -1,0 +1,64 @@
+"""Tests for frequency-distribution analysis (Fig. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import frequency_cdf, saturated_fraction
+from repro.cbf.cbf import CountingBloomFilter
+
+
+def make_cbf_with(freqs: dict[int, int]) -> CountingBloomFilter:
+    cbf = CountingBloomFilter(num_counters=65_536, num_hashes=3, bits=4, seed=0)
+    page = 0
+    for freq, count in freqs.items():
+        pages = np.arange(page, page + count, dtype=np.uint64)
+        cbf.increase(pages, freq)
+        page += count
+    return cbf
+
+
+class TestFrequencyCDF:
+    def test_cdf_monotone_and_normalized(self):
+        cbf = make_cbf_with({1: 100, 5: 50, 15: 10})
+        cdf = frequency_cdf(cbf)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_empty_filter(self):
+        cbf = CountingBloomFilter(1024)
+        assert np.all(frequency_cdf(cbf) == 0.0)
+
+    def test_skip_zero_excludes_untouched(self):
+        cbf = make_cbf_with({15: 10})
+        cdf = frequency_cdf(cbf, skip_zero=True)
+        # All tracked mass is at 15: CDF below 15 is ~0.
+        assert cdf[14] < 0.05
+
+    def test_include_zero(self):
+        cbf = make_cbf_with({15: 10})
+        cdf = frequency_cdf(cbf, skip_zero=False)
+        # Untouched counters dominate.
+        assert cdf[0] > 0.99
+
+
+class TestSaturatedFraction:
+    def test_matches_construction(self):
+        cbf = make_cbf_with({1: 980, 15: 20})
+        frac = saturated_fraction(cbf)
+        # ~20 of ~1000 tracked pages saturate (x3 counters each).
+        assert frac == pytest.approx(0.02, abs=0.01)
+
+    def test_paper_criterion_on_zipf(self):
+        """Paper Fig. 14: under a Zipf workload <2% of pages saturate
+        a 4-bit counter after moderate sampling."""
+        from repro.workloads.zipfian import ZipfianSampler
+
+        cbf = CountingBloomFilter(num_counters=262_144, num_hashes=3, bits=4, seed=1)
+        z = ZipfianSampler(50_000, 1.1, seed=2)
+        samples = z.sample(100_000).astype(np.uint64)
+        uniq, counts = np.unique(samples, return_counts=True)
+        cbf.increase(uniq, counts)
+        assert saturated_fraction(cbf) < 0.05
+
+    def test_empty(self):
+        assert saturated_fraction(CountingBloomFilter(64)) == 0.0

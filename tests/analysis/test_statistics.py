@@ -1,0 +1,94 @@
+"""Tests for replication statistics."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    ReplicatedMetric,
+    hit_ratio_rse,
+    replicated_metric,
+    run_replicated,
+    throughput_rse,
+)
+from repro.core.config import ExperimentConfig
+from repro.policies.freqtier import FreqTier, FreqTierConfig
+from repro.policies.static_policy import StaticNoMigration
+from repro.workloads.trace import SyntheticZipfWorkload
+
+
+class TestReplicatedMetric:
+    def test_mean_std(self):
+        m = ReplicatedMetric("x", (1.0, 2.0, 3.0))
+        assert m.mean == 2.0
+        assert m.std == pytest.approx(1.0)
+        assert m.standard_error == pytest.approx(1.0 / 3**0.5)
+
+    def test_rse(self):
+        m = ReplicatedMetric("x", (10.0, 10.0, 10.0))
+        assert m.relative_standard_error == 0.0
+
+    def test_single_value(self):
+        m = ReplicatedMetric("x", (5.0,))
+        assert m.std == 0.0
+        assert m.relative_standard_error == 0.0
+
+    def test_zero_mean(self):
+        m = ReplicatedMetric("x", (-1.0, 1.0))
+        assert m.relative_standard_error == 0.0
+
+    def test_summary_format(self):
+        s = ReplicatedMetric("hit", (0.9, 0.91)).summary()
+        assert "hit" in s
+        assert "n=2" in s
+
+
+class TestRunReplicated:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        # FreqTier converges to the hot set regardless of where the
+        # seed's permutation scattered it, so replications agree; a
+        # static policy's hit ratio would be permutation luck.
+        config = ExperimentConfig(local_fraction=0.1, max_batches=50, seed=0)
+        return run_replicated(
+            lambda seed: SyntheticZipfWorkload(
+                num_pages=1500, accesses_per_batch=4000, seed=seed
+            ),
+            lambda seed: FreqTier(
+                config=FreqTierConfig(
+                    sample_batch_size=500,
+                    pebs_base_period=4,
+                    window_accesses=60_000,
+                ),
+                seed=seed,
+            ),
+            config,
+            seeds=[1, 2, 3],
+        )
+
+    def test_one_result_per_seed(self, replicated):
+        assert len(replicated) == 3
+
+    def test_seeds_produce_variation(self, replicated):
+        hits = {round(r.steady_hit_ratio, 9) for r in replicated}
+        assert len(hits) > 1
+
+    def test_rse_is_small_for_stable_metric(self, replicated):
+        """Replication noise across seeds is small -- the analogue of
+        the paper's <1% relative standard errors."""
+        metric = hit_ratio_rse(replicated)
+        assert metric.relative_standard_error < 0.05
+        thr = throughput_rse(replicated)
+        assert thr.relative_standard_error < 0.05
+
+    def test_empty_seeds_rejected(self):
+        config = ExperimentConfig(local_fraction=0.1, max_batches=2)
+        with pytest.raises(ValueError):
+            run_replicated(
+                lambda s: SyntheticZipfWorkload(num_pages=100),
+                lambda s: StaticNoMigration(),
+                config,
+                seeds=[],
+            )
+
+    def test_missing_metric_rejected(self, replicated):
+        with pytest.raises(ValueError):
+            replicated_metric(replicated, lambda r: None, name="ghost")

@@ -1,0 +1,51 @@
+"""Tests for table formatting."""
+
+from repro.analysis.tables import format_comparison_table, format_rows
+from repro.core.metrics import BatchRecord, ExperimentResult
+
+
+def make_result(duration: float) -> ExperimentResult:
+    records = [
+        BatchRecord(
+            start_ns=i * duration,
+            duration_ns=duration,
+            num_ops=10.0,
+            num_accesses=100,
+            local_accesses=90,
+            cxl_accesses=10,
+            pages_migrated=0,
+            overhead_ns=0.0,
+        )
+        for i in range(4)
+    ]
+    return ExperimentResult.from_records(
+        records, "p", "w", {"local": 1.0, "cxl": 0.0, "migration": 0.0}, 0
+    )
+
+
+class TestFormatRows:
+    def test_aligned_output(self):
+        out = format_rows(["a", "bb"], [[1, 2.5], ["xyz", None]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "xyz" in lines[3]
+        assert "-" in lines[3]  # None rendered as dash
+
+    def test_float_formatting(self):
+        out = format_rows(["v"], [[0.123456]])
+        assert "0.123" in out
+
+
+class TestComparisonTable:
+    def test_renders_relative_column(self):
+        results = {
+            "AllLocal": make_result(100.0),
+            "Slow": make_result(200.0),
+        }
+        out = format_comparison_table(results)
+        assert "Slow" in out
+        assert "50.0%" in out
+
+    def test_missing_baseline_ok(self):
+        out = format_comparison_table({"Only": make_result(10.0)})
+        assert "Only" in out

@@ -1,0 +1,53 @@
+"""Tests for timeline analysis utilities (Fig. 11 support)."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    detection_delay,
+    resample_timeline,
+    timeline_stability,
+)
+
+
+class TestResample:
+    def test_reduces_to_requested_points(self):
+        timeline = [(float(i), float(i % 10)) for i in range(1000)]
+        out = resample_timeline(timeline, num_points=10)
+        assert len(out) == 10
+
+    def test_preserves_means(self):
+        timeline = [(float(i), 5.0) for i in range(100)]
+        out = resample_timeline(timeline, num_points=4)
+        assert all(v == pytest.approx(5.0) for __, v in out)
+
+    def test_empty(self):
+        assert resample_timeline([], 5) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resample_timeline([(0.0, 1.0)], 0)
+
+
+class TestStability:
+    def test_flat_series_is_stable(self):
+        timeline = [(float(i), 0.9) for i in range(10)]
+        assert timeline_stability(timeline) == 0.0
+
+    def test_spread_measured_over_window(self):
+        timeline = [(0.0, 0.1), (1.0, 0.9), (2.0, 0.5), (3.0, 0.5)]
+        assert timeline_stability(timeline, window=2) == 0.0
+        assert timeline_stability(timeline, window=4) == pytest.approx(0.8)
+
+    def test_short_series(self):
+        assert timeline_stability([(0.0, 1.0)]) == 0.0
+
+
+class TestDetectionDelay:
+    def test_finds_recovery_point(self):
+        timeline = [(0.0, 0.9), (10.0, 0.3), (20.0, 0.5), (30.0, 0.85)]
+        delay = detection_delay(timeline, change_time_ns=10.0, recovery_value=0.8)
+        assert delay == pytest.approx(20.0)
+
+    def test_never_recovers(self):
+        timeline = [(0.0, 0.9), (10.0, 0.3)]
+        assert detection_delay(timeline, 5.0, 0.99) is None

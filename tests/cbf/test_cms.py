@@ -1,0 +1,55 @@
+"""Tests for the Count-Min Sketch variant."""
+
+import numpy as np
+import pytest
+
+from repro.cbf.cbf import CountingBloomFilter
+from repro.cbf.cms import CountMinSketch
+
+
+class TestCountMinSketch:
+    def test_basic_counting(self):
+        cms = CountMinSketch(num_counters=4096, num_hashes=3, bits=8, seed=1)
+        cms.increase(np.array([7], dtype=np.uint64), 5)
+        assert cms.get(7) == 5
+
+    def test_never_undercounts(self):
+        cms = CountMinSketch(num_counters=2048, num_hashes=3, bits=8, seed=2)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 400, 3000).astype(np.uint64)
+        cms.increment(keys)
+        uniq, truth = np.unique(keys, return_counts=True)
+        assert np.all(cms.get(uniq) >= np.minimum(truth, cms.max_count))
+
+    def test_overcounts_at_least_as_much_as_cbf(self):
+        """Conservative update dominates CMS on accuracy: under the
+        same load, CMS estimates are >= CBF estimates >= truth."""
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 800, 5000).astype(np.uint64)
+        cbf = CountingBloomFilter(num_counters=1024, num_hashes=3, bits=16, seed=4)
+        cms = CountMinSketch(num_counters=1024, num_hashes=3, bits=16, seed=4)
+        for chunk in np.array_split(keys, 20):
+            uniq, counts = np.unique(chunk, return_counts=True)
+            cbf.increase(uniq, counts)
+            cms.increase(uniq, counts)
+        uniq = np.unique(keys)
+        cbf_est = cbf.get(uniq)
+        cms_est = cms.get(uniq)
+        assert np.all(cms_est >= cbf_est)
+        assert cms_est.sum() > cbf_est.sum()  # strictly worse somewhere
+
+    def test_aging(self):
+        cms = CountMinSketch(num_counters=512, num_hashes=3, bits=8)
+        cms.increase(np.array([1], dtype=np.uint64), 8)
+        cms.age()
+        assert cms.get(1) == 4
+
+    def test_empty(self):
+        cms = CountMinSketch(num_counters=64)
+        out = cms.increase(np.zeros(0, dtype=np.uint64), 1)
+        assert out.size == 0
+
+    def test_duplicates_accumulate(self):
+        cms = CountMinSketch(num_counters=512, num_hashes=2, bits=8)
+        cms.increment(np.array([3, 3, 3], dtype=np.uint64))
+        assert cms.get(3) == 3

@@ -1,0 +1,107 @@
+"""Tests for the Bloom-filter hashing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cbf.hashing import derive_indices, fold_to_range, hash_pair, splitmix64
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(keys), splitmix64(keys))
+
+    def test_seed_changes_output(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(splitmix64(keys, seed=0), splitmix64(keys, seed=1))
+
+    def test_distinct_keys_distinct_hashes(self):
+        keys = np.arange(10_000, dtype=np.uint64)
+        hashes = splitmix64(keys)
+        assert len(np.unique(hashes)) == len(keys)
+
+    def test_output_spreads_over_64_bits(self):
+        keys = np.arange(1_000, dtype=np.uint64)
+        hashes = splitmix64(keys)
+        # Top bit set for roughly half the outputs.
+        top_bits = (hashes >> np.uint64(63)).astype(int)
+        assert 0.4 < top_bits.mean() < 0.6
+
+    def test_avalanche_on_single_bit_flip(self):
+        a = splitmix64(np.array([0b1000], dtype=np.uint64))[0]
+        b = splitmix64(np.array([0b1001], dtype=np.uint64))[0]
+        differing = bin(int(a) ^ int(b)).count("1")
+        assert differing > 16  # good mixers flip ~32 bits
+
+
+class TestHashPair:
+    def test_h2_always_odd(self):
+        keys = np.arange(1_000, dtype=np.uint64)
+        __, h2 = hash_pair(keys)
+        assert np.all(h2 % np.uint64(2) == 1)
+
+    def test_h1_h2_independent(self):
+        keys = np.arange(1_000, dtype=np.uint64)
+        h1, h2 = hash_pair(keys)
+        assert not np.array_equal(h1, h2)
+
+
+class TestDeriveIndices:
+    def test_shape(self):
+        idx = derive_indices(np.arange(50, dtype=np.uint64), 3, 1024)
+        assert idx.shape == (50, 3)
+
+    def test_range(self):
+        idx = derive_indices(np.arange(5_000, dtype=np.uint64), 4, 97)
+        assert idx.min() >= 0
+        assert idx.max() < 97
+
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(
+            derive_indices(keys, 3, 1024), derive_indices(keys, 3, 1024)
+        )
+
+    def test_roughly_uniform(self):
+        idx = derive_indices(np.arange(20_000, dtype=np.uint64), 3, 64)
+        counts = np.bincount(idx.ravel(), minlength=64)
+        expected = idx.size / 64
+        assert counts.min() > expected * 0.8
+        assert counts.max() < expected * 1.2
+
+    def test_rejects_bad_params(self):
+        keys = np.arange(3, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            derive_indices(keys, 0, 10)
+        with pytest.raises(ValueError):
+            derive_indices(keys, 3, 0)
+
+    def test_distinct_probes_for_power_of_two_tables(self):
+        # With odd h2 and power-of-two size, all k probes differ.
+        idx = derive_indices(np.arange(1_000, dtype=np.uint64), 3, 1024)
+        for row in idx[:100]:
+            assert len(set(row.tolist())) == 3
+
+
+class TestFoldToRange:
+    def test_range(self):
+        hashes = splitmix64(np.arange(10_000, dtype=np.uint64))
+        folded = fold_to_range(hashes, 37)
+        assert folded.min() >= 0
+        assert folded.max() < 37
+
+    def test_uniformity(self):
+        hashes = splitmix64(np.arange(50_000, dtype=np.uint64))
+        folded = fold_to_range(hashes, 16)
+        counts = np.bincount(folded, minlength=16)
+        expected = len(hashes) / 16
+        assert counts.min() > expected * 0.9
+        assert counts.max() < expected * 1.1
+
+    def test_upper_one_is_all_zero(self):
+        hashes = splitmix64(np.arange(100, dtype=np.uint64))
+        assert np.all(fold_to_range(hashes, 1) == 0)
+
+    def test_rejects_bad_upper(self):
+        with pytest.raises(ValueError):
+            fold_to_range(np.zeros(1, dtype=np.uint64), 0)

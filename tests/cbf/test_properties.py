@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the frequency trackers.
+
+Invariants under test:
+
+1. CBF never undercounts (conservative update), up to saturation.
+2. GET is the min over the key's counters, so aging halves estimates
+   within rounding.
+3. Packed counters round-trip any valid value at any width.
+4. Coalesced ingestion is equivalent to per-sample increments.
+5. The sizing solver always meets its FPR target.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cbf.blocked import BlockedCountingBloomFilter
+from repro.cbf.cbf import CountingBloomFilter
+from repro.cbf.coalescing import SampleCoalescer
+from repro.cbf.counters import PackedCounterArray
+from repro.cbf.exact import ExactFrequencyTracker
+from repro.cbf.sizing import counters_for_fpr, false_positive_rate
+
+key_lists = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300
+)
+
+
+@given(keys=key_lists, seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_cbf_never_undercounts(keys, seed):
+    cbf = CountingBloomFilter(num_counters=2048, num_hashes=3, bits=8, seed=seed)
+    arr = np.asarray(keys, dtype=np.uint64)
+    cbf.increment(arr)
+    uniq, truth = np.unique(arr, return_counts=True)
+    estimates = cbf.get(uniq)
+    assert np.all(estimates >= np.minimum(truth, cbf.max_count))
+
+
+@given(keys=key_lists, seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_blocked_cbf_never_undercounts(keys, seed):
+    cbf = BlockedCountingBloomFilter(
+        num_counters=2048, num_hashes=3, bits=8, seed=seed
+    )
+    arr = np.asarray(keys, dtype=np.uint64)
+    cbf.increment(arr)
+    uniq, truth = np.unique(arr, return_counts=True)
+    assert np.all(cbf.get(uniq) >= np.minimum(truth, cbf.max_count))
+
+
+@given(
+    amount=st.integers(1, 255),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_aging_halves_estimates(amount, seed):
+    cbf = CountingBloomFilter(num_counters=4096, num_hashes=3, bits=8, seed=seed)
+    cbf.increase(np.array([77], dtype=np.uint64), amount)
+    before = cbf.get(77)
+    cbf.age()
+    assert cbf.get(77) == before // 2
+
+
+@given(
+    bits=st.sampled_from([1, 2, 4, 8, 16]),
+    values=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_packed_counters_roundtrip(bits, values):
+    arr = PackedCounterArray(len(values), bits=bits)
+    idx = np.arange(len(values))
+    vals = np.asarray(values, dtype=np.int64)
+    arr.set(idx, vals)
+    expected = np.clip(vals, 0, arr.max_value)
+    assert np.array_equal(arr.get(idx), expected)
+
+
+@given(
+    bits=st.sampled_from([2, 4, 8, 16]),
+    values=st.lists(st.integers(0, 15), min_size=2, max_size=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_halve_all_equals_elementwise_halving(bits, values):
+    arr = PackedCounterArray(len(values), bits=bits)
+    idx = np.arange(len(values))
+    vals = np.minimum(np.asarray(values, dtype=np.int64), arr.max_value)
+    arr.set(idx, vals)
+    arr.halve_all()
+    assert np.array_equal(arr.to_array(), vals // 2)
+
+
+@given(keys=key_lists, seed=st.integers(0, 30))
+@settings(max_examples=30, deadline=None)
+def test_coalesced_bounded_by_per_sample(keys, seed):
+    """Batched conservative update never undercounts the true totals
+    and never exceeds the sequential per-sample estimate."""
+    arr = np.asarray(keys, dtype=np.uint64)
+    a = CountingBloomFilter(num_counters=4096, num_hashes=3, bits=8, seed=seed)
+    b = CountingBloomFilter(num_counters=4096, num_hashes=3, bits=8, seed=seed)
+    SampleCoalescer(a).ingest(arr)
+    for key in arr:
+        b.increment(int(key))
+    uniq, truth = np.unique(arr, return_counts=True)
+    coalesced = a.get(uniq)
+    sequential = b.get(uniq)
+    assert np.all(coalesced >= np.minimum(truth, a.max_count))
+    assert np.all(coalesced <= sequential)
+
+
+@given(keys=key_lists)
+@settings(max_examples=40, deadline=None)
+def test_exact_tracker_matches_numpy_counts(keys):
+    arr = np.asarray(keys, dtype=np.uint64)
+    tracker = ExactFrequencyTracker()
+    tracker.increment(arr)
+    uniq, truth = np.unique(arr, return_counts=True)
+    assert np.array_equal(tracker.get(uniq), truth)
+
+
+@given(
+    num_keys=st.integers(10, 100_000),
+    fpr_exp=st.integers(1, 6),
+    k=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_sizing_meets_fpr_target(num_keys, fpr_exp, k):
+    target = 10.0**-fpr_exp
+    m = counters_for_fpr(num_keys, target, k)
+    assert false_positive_rate(m, num_keys, k) <= target * 1.0001
+
+
+@given(keys=key_lists, seed=st.integers(0, 20))
+@settings(max_examples=30, deadline=None)
+def test_cbf_get_idempotent(keys, seed):
+    cbf = CountingBloomFilter(num_counters=2048, seed=seed)
+    arr = np.asarray(keys, dtype=np.uint64)
+    cbf.increment(arr)
+    first = cbf.get(arr)
+    second = cbf.get(arr)
+    assert np.array_equal(first, second)

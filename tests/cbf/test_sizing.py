@@ -1,0 +1,99 @@
+"""Tests for Bloom-filter sizing math."""
+
+import math
+
+import pytest
+
+from repro.cbf.sizing import (
+    cbf_bytes_for_fpr,
+    counters_for_fpr,
+    false_positive_rate,
+    optimal_num_hashes,
+)
+
+
+class TestFalsePositiveRate:
+    def test_known_value(self):
+        # m = 10n, k = 7 is the textbook ~0.8% configuration.
+        assert false_positive_rate(10_000, 1_000, 7) == pytest.approx(
+            0.00819, rel=0.05
+        )
+
+    def test_zero_keys(self):
+        assert false_positive_rate(100, 0, 3) == 0.0
+
+    def test_monotone_in_size(self):
+        n, k = 1_000, 3
+        rates = [false_positive_rate(m, n, k) for m in (2_000, 8_000, 32_000)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_monotone_in_keys(self):
+        rates = [false_positive_rate(8_000, n, 3) for n in (100, 1_000, 4_000)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(0, 10, 3)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, 10, 0)
+
+
+class TestOptimalNumHashes:
+    def test_textbook_value(self):
+        # m/n = 10 -> k* = 10 ln 2 = 6.93 -> 7.
+        assert optimal_num_hashes(10_000, 1_000) == 7
+
+    def test_at_least_one(self):
+        assert optimal_num_hashes(10, 1_000) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(0, 5)
+
+
+class TestCountersForFPR:
+    def test_achieves_target(self):
+        n, k, p = 5_000, 3, 1e-3
+        m = counters_for_fpr(n, p, k)
+        assert false_positive_rate(m, n, k) <= p
+
+    def test_is_tight(self):
+        n, k, p = 5_000, 3, 1e-3
+        m = counters_for_fpr(n, p, k)
+        # One fewer counter would miss the target (within rounding).
+        assert false_positive_rate(int(m * 0.95), n, k) > p
+
+    def test_paper_sizing_rule(self):
+        """The paper's rule: CBF sized for all local-DRAM pages at 1e-3.
+
+        16 GB of local DRAM = 4M pages; with 4-bit counters the filter
+        should land in the tens of MB, consistent with the paper's
+        32-128 MB sweet spot (Fig. 12).
+        """
+        local_pages = 16 * (1 << 30) // 4096
+        nbytes = cbf_bytes_for_fpr(local_pages, 1e-3, 3)
+        assert 16 * (1 << 20) < nbytes < 128 * (1 << 20)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            counters_for_fpr(0, 1e-3, 3)
+        with pytest.raises(ValueError):
+            counters_for_fpr(10, 1.5, 3)
+        with pytest.raises(ValueError):
+            counters_for_fpr(10, 1e-3, 0)
+
+    def test_smaller_fpr_needs_more_counters(self):
+        sizes = [counters_for_fpr(1_000, p, 3) for p in (1e-1, 1e-2, 1e-3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_scales_linearly_with_keys(self):
+        m1 = counters_for_fpr(1_000, 1e-3, 3)
+        m2 = counters_for_fpr(2_000, 1e-3, 3)
+        assert m2 == pytest.approx(2 * m1, rel=0.01)
+
+
+class TestBytesForFPR:
+    def test_bit_packing_factor(self):
+        m = counters_for_fpr(1_000, 1e-2, 3)
+        assert cbf_bytes_for_fpr(1_000, 1e-2, 3, bits=4) == math.ceil(m * 4 / 8)
+        assert cbf_bytes_for_fpr(1_000, 1e-2, 3, bits=8) == m

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim.machine import Machine, MachineConfig
+from repro.memsim.tier import CXL1_CONFIG
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A machine with 256 local pages and 8192 CXL pages (1:32)."""
+    return Machine(
+        MachineConfig(local_capacity_pages=256, cxl_capacity_pages=8192)
+    )
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    """A machine small enough to reason about by hand."""
+    return Machine(MachineConfig(local_capacity_pages=8, cxl_capacity_pages=64))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def cxl1_machine_factory():
+    """Factory building CXL-1 machines of arbitrary capacities."""
+
+    def build(local: int, cxl: int) -> Machine:
+        return Machine(
+            MachineConfig(
+                local_capacity_pages=local,
+                cxl_capacity_pages=cxl,
+                memory=CXL1_CONFIG,
+            )
+        )
+
+    return build

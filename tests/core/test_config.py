@@ -1,0 +1,36 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig, ratio_to_cxl_multiple
+from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
+
+
+class TestRatioParsing:
+    @pytest.mark.parametrize("label,n", [("1:8", 8), ("1:16", 16), ("1:32", 32)])
+    def test_paper_ratios(self, label, n):
+        assert ratio_to_cxl_multiple(label) == n
+
+    @pytest.mark.parametrize("bad", ["2:8", "1:0", "8", "1:8:2", "one:eight"])
+    def test_bad_labels(self, bad):
+        with pytest.raises(ValueError):
+            ratio_to_cxl_multiple(bad)
+
+
+class TestExperimentConfig:
+    def test_defaults_are_cxl1(self):
+        cfg = ExperimentConfig(local_fraction=0.06)
+        assert cfg.memory is CXL1_CONFIG or cfg.memory.name == "CXL-1"
+        assert cfg.cxl_multiple == 32
+
+    def test_cxl2_selectable(self):
+        cfg = ExperimentConfig(local_fraction=0.1, memory=CXL2_CONFIG)
+        assert cfg.memory.name == "CXL-2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(local_fraction=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(local_fraction=0.1, warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(local_fraction=0.1, ratio_label="8:1")

@@ -1,0 +1,105 @@
+"""Tests for the experiment runner facade."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.runner import (
+    build_all_local_machine,
+    build_machine,
+    compare_policies,
+    run_all_local,
+    run_experiment,
+)
+from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
+from repro.policies.freqtier import FreqTier, FreqTierConfig
+from repro.policies.static_policy import StaticNoMigration
+from repro.workloads.trace import SyntheticZipfWorkload
+
+
+def fast_config(**kwargs) -> ExperimentConfig:
+    return ExperimentConfig(
+        local_fraction=kwargs.pop("local_fraction", 0.1),
+        max_batches=kwargs.pop("max_batches", 10),
+        **kwargs,
+    )
+
+
+def workload_factory():
+    return SyntheticZipfWorkload(num_pages=2000, accesses_per_batch=2000, seed=4)
+
+
+class TestBuildMachine:
+    def test_local_sized_from_fraction(self):
+        m = build_machine(10_000, fast_config(local_fraction=0.06))
+        assert m.config.local_capacity_pages == 600
+
+    def test_cxl_holds_footprint_plus_headroom(self):
+        m = build_machine(10_000, fast_config())
+        assert (
+            m.config.local_capacity_pages + m.config.cxl_capacity_pages
+            > 10_000
+        )
+
+    def test_ratio_respected_for_large_locals(self):
+        cfg = fast_config(local_fraction=0.24, ratio_label="1:8")
+        m = build_machine(10_000, cfg)
+        assert m.config.cxl_capacity_pages >= m.config.local_capacity_pages * 8
+
+    def test_minimum_local(self):
+        m = build_machine(100, fast_config(local_fraction=0.01))
+        assert m.config.local_capacity_pages >= 32
+
+    def test_memory_config_forwarded(self):
+        cfg = fast_config(memory=CXL2_CONFIG)
+        m = build_machine(1000, cfg)
+        assert m.config.memory.name == "CXL-2"
+
+    def test_all_local_machine(self):
+        m = build_all_local_machine(5000, CXL1_CONFIG)
+        assert m.config.local_capacity_pages > 5000
+
+
+class TestRunExperiment:
+    def test_basic_run(self):
+        result = run_experiment(workload_factory, StaticNoMigration, fast_config())
+        assert result.policy_name == "Static"
+        assert result.total_accesses == 20_000
+
+    def test_all_local_hit_ratio_is_one(self):
+        result = run_all_local(workload_factory, fast_config())
+        assert result.overall_hit_ratio == pytest.approx(1.0)
+
+    def test_compare_policies_includes_all_local(self):
+        results = compare_policies(
+            workload_factory,
+            {"Static": StaticNoMigration},
+            fast_config(),
+        )
+        assert set(results) == {"AllLocal", "Static"}
+        rel = results["Static"].relative_to(results["AllLocal"])
+        assert rel["throughput"] is not None
+        assert rel["throughput"] <= 1.001
+
+    def test_compare_policies_without_baseline(self):
+        results = compare_policies(
+            workload_factory,
+            {"Static": StaticNoMigration},
+            fast_config(),
+            include_all_local=False,
+        )
+        assert set(results) == {"Static"}
+
+    def test_freqtier_runs_through_facade(self):
+        config = fast_config(max_batches=40)
+        result = run_experiment(
+            workload_factory,
+            lambda: FreqTier(
+                config=FreqTierConfig(
+                    sample_batch_size=300,
+                    pebs_base_period=2,
+                    window_accesses=20_000,
+                )
+            ),
+            config,
+        )
+        assert result.policy_stats["promotions"] > 0

@@ -1,0 +1,30 @@
+"""Tests for the parameter-sweep helper."""
+
+from repro.core.config import ExperimentConfig
+from repro.core.sweep import sweep
+from repro.policies.freqtier import FreqTier, FreqTierConfig
+from repro.workloads.trace import SyntheticZipfWorkload
+
+
+def test_sweep_runs_one_experiment_per_value():
+    def workload():
+        return SyntheticZipfWorkload(num_pages=1000, accesses_per_batch=1000, seed=0)
+
+    def factory_for(cbf_counters: int):
+        def make():
+            return FreqTier(
+                config=FreqTierConfig(
+                    cbf_num_counters=cbf_counters,
+                    sample_batch_size=200,
+                    pebs_base_period=2,
+                    window_accesses=50_000,
+                )
+            )
+
+        return make
+
+    config = ExperimentConfig(local_fraction=0.1, max_batches=5)
+    results = sweep(workload, factory_for, [256, 1024], config)
+    assert set(results) == {256, 1024}
+    for res in results.values():
+        assert res.total_accesses == 5_000

@@ -1,0 +1,60 @@
+"""Determinism: identical seeds must give identical results."""
+
+import pytest
+
+from repro import (
+    CacheLibWorkload,
+    CDN_PROFILE,
+    ExperimentConfig,
+    FreqTier,
+    FreqTierConfig,
+    GapWorkload,
+    run_experiment,
+)
+
+
+def cdn_factory():
+    return CacheLibWorkload(CDN_PROFILE, slab_pages=2048, ops_per_batch=2000, seed=5)
+
+
+def freqtier_factory():
+    return FreqTier(
+        config=FreqTierConfig(
+            sample_batch_size=500, pebs_base_period=4, window_accesses=100_000
+        ),
+        seed=5,
+    )
+
+
+CONFIG = ExperimentConfig(local_fraction=0.1, max_batches=25, seed=5)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        a = run_experiment(cdn_factory, freqtier_factory, CONFIG)
+        b = run_experiment(cdn_factory, freqtier_factory, CONFIG)
+        assert a.total_time_ns == b.total_time_ns
+        assert a.overall_hit_ratio == b.overall_hit_ratio
+        assert a.pages_migrated == b.pages_migrated
+        assert a.policy_stats == b.policy_stats
+
+    def test_different_seed_changes_trace(self):
+        def other_workload():
+            return CacheLibWorkload(
+                CDN_PROFILE, slab_pages=2048, ops_per_batch=2000, seed=6
+            )
+
+        a = run_experiment(cdn_factory, freqtier_factory, CONFIG)
+        b = run_experiment(other_workload, freqtier_factory, CONFIG)
+        assert a.total_time_ns != b.total_time_ns
+
+    def test_gap_trace_deterministic(self):
+        config = ExperimentConfig(local_fraction=0.1, max_batches=None, seed=3)
+
+        def factory():
+            return GapWorkload("bfs", scale=12, num_trials=2, seed=3)
+
+        a = run_experiment(factory, freqtier_factory, config)
+        b = run_experiment(factory, freqtier_factory, config)
+        assert a.total_time_ns == pytest.approx(b.total_time_ns)
+        assert a.time_per_label_ns == b.time_per_label_ns

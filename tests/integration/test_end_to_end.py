@@ -1,0 +1,140 @@
+"""End-to-end integration tests across all workloads and policies.
+
+These run small but complete experiments through the public API and
+check system-level invariants (capacity conservation, traffic
+consistency, all-local dominance).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoNUMA,
+    CacheLibWorkload,
+    CDN_PROFILE,
+    ExperimentConfig,
+    FreqTier,
+    FreqTierConfig,
+    GapWorkload,
+    HeMem,
+    StaticNoMigration,
+    TPP,
+    XGBoostWorkload,
+    compare_policies,
+    run_all_local,
+    run_experiment,
+)
+from repro.core.engine import SimulationEngine
+from repro.core.runner import build_machine
+from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
+
+
+def small_cdn():
+    return CacheLibWorkload(
+        CDN_PROFILE, slab_pages=4096, ops_per_batch=3000, seed=11
+    )
+
+
+def fast_freqtier():
+    return FreqTier(
+        config=FreqTierConfig(
+            sample_batch_size=1000,
+            pebs_base_period=4,
+            window_accesses=150_000,
+        ),
+        seed=11,
+    )
+
+
+CONFIG = ExperimentConfig(local_fraction=0.08, max_batches=60, seed=11)
+
+ALL_POLICIES = {
+    "FreqTier": fast_freqtier,
+    "AutoNUMA": AutoNUMA,
+    "TPP": TPP,
+    "HeMem": HeMem,
+    "Static": StaticNoMigration,
+}
+
+
+class TestCapacityInvariants:
+    @pytest.mark.parametrize("policy_name", list(ALL_POLICIES))
+    def test_local_capacity_never_exceeded(self, policy_name):
+        workload = small_cdn()
+        machine = build_machine(workload.footprint_pages, CONFIG)
+        engine = SimulationEngine(machine, workload, ALL_POLICIES[policy_name]())
+        engine.run(max_batches=30)
+        assert machine.local_used_pages + machine.reserved_local_pages <= (
+            machine.config.local_capacity_pages
+        )
+        assert machine.cxl_used_pages <= machine.config.cxl_capacity_pages
+
+    @pytest.mark.parametrize("policy_name", list(ALL_POLICIES))
+    def test_no_pages_lost_or_created(self, policy_name):
+        workload = small_cdn()
+        machine = build_machine(workload.footprint_pages, CONFIG)
+        engine = SimulationEngine(machine, workload, ALL_POLICIES[policy_name]())
+        engine.run(max_batches=30)
+        assert machine.page_table.mapped_pages == workload.footprint_pages
+
+    @pytest.mark.parametrize("policy_name", list(ALL_POLICIES))
+    def test_every_mapped_page_exactly_one_tier(self, policy_name):
+        workload = small_cdn()
+        machine = build_machine(workload.footprint_pages, CONFIG)
+        engine = SimulationEngine(machine, workload, ALL_POLICIES[policy_name]())
+        engine.run(max_batches=30)
+        placement = machine.page_table.tier_of(
+            np.arange(workload.footprint_pages)
+        )
+        assert np.all((placement == LOCAL_TIER) | (placement == CXL_TIER))
+
+
+class TestTrafficConsistency:
+    @pytest.mark.parametrize("policy_name", ["FreqTier", "AutoNUMA", "TPP"])
+    def test_migration_counts_match_traffic_meter(self, policy_name):
+        result = run_experiment(small_cdn, ALL_POLICIES[policy_name], CONFIG)
+        assert result.pages_migrated == (
+            result.policy_stats["promotions"] + result.policy_stats["demotions"]
+        )
+
+    def test_hit_ratio_in_unit_interval(self):
+        for factory in ALL_POLICIES.values():
+            result = run_experiment(small_cdn, factory, CONFIG)
+            assert 0.0 <= result.overall_hit_ratio <= 1.0
+
+
+class TestAllLocalDominance:
+    def test_no_policy_beats_all_local(self):
+        results = compare_policies(small_cdn, ALL_POLICIES, CONFIG)
+        base = results["AllLocal"]
+        for name, res in results.items():
+            if name == "AllLocal":
+                continue
+            rel = res.relative_to(base)["throughput"]
+            assert rel is not None and rel <= 1.005, name
+
+
+class TestAllWorkloadFamilies:
+    def test_gap_runs_end_to_end(self):
+        config = ExperimentConfig(local_fraction=0.1, max_batches=None, seed=1)
+        result = run_experiment(
+            lambda: GapWorkload("bfs", scale=13, num_trials=2, seed=1),
+            fast_freqtier,
+            config,
+        )
+        assert result.mean_time_per_label_ns() is not None
+        assert result.total_accesses > 10_000
+
+    def test_xgboost_runs_end_to_end(self):
+        config = ExperimentConfig(local_fraction=0.1, max_batches=None, seed=1)
+        result = run_experiment(
+            lambda: XGBoostWorkload(num_rounds=5, seed=1), fast_freqtier, config
+        )
+        assert len(result.time_per_label_ns) == 5
+
+    def test_all_local_upper_bound_on_gap(self):
+        config = ExperimentConfig(local_fraction=0.1, max_batches=None, seed=1)
+        wf = lambda: GapWorkload("cc", scale=12, num_trials=2, seed=2)
+        base = run_all_local(wf, config)
+        tiered = run_experiment(wf, StaticNoMigration, config)
+        assert tiered.total_time_ns >= base.total_time_ns * 0.999

@@ -1,0 +1,101 @@
+"""Smoke matrix: every workload family x every policy.
+
+Small-scale runs of the full cross-product, guarding against pairings
+that only break in combination (e.g. a policy assuming CacheLib-sized
+batches meeting GAP's bursty levels).  Each cell checks the machine
+invariants and that the run produced sensible metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoNUMA,
+    CacheLibWorkload,
+    CDN_PROFILE,
+    ExperimentConfig,
+    FreqTier,
+    FreqTierConfig,
+    GapWorkload,
+    HeMem,
+    MultiClock,
+    SOCIAL_PROFILE,
+    StaticNoMigration,
+    TPP,
+    XGBoostWorkload,
+)
+from repro.core.engine import SimulationEngine
+from repro.core.runner import build_machine
+from repro.policies.damon import DAMONRegion
+
+WORKLOADS = {
+    "cdn": lambda: CacheLibWorkload(
+        CDN_PROFILE, slab_pages=2048, ops_per_batch=1500, seed=31
+    ),
+    "social": lambda: CacheLibWorkload(
+        SOCIAL_PROFILE, slab_pages=2048, ops_per_batch=1500, seed=31
+    ),
+    "gap-bfs": lambda: GapWorkload("bfs", scale=12, num_trials=2, seed=31),
+    "gap-cc": lambda: GapWorkload("cc", scale=12, num_trials=2, seed=31),
+    "gap-bc": lambda: GapWorkload("bc", scale=12, num_trials=1, seed=31),
+    "gap-pr": lambda: GapWorkload("pr", scale=12, num_trials=1, seed=31),
+    "xgboost": lambda: XGBoostWorkload(num_rounds=4, seed=31),
+}
+
+POLICIES = {
+    "freqtier": lambda: FreqTier(
+        config=FreqTierConfig(
+            sample_batch_size=500, pebs_base_period=4, window_accesses=80_000
+        ),
+        seed=31,
+    ),
+    "freqtier-coarse": lambda: FreqTier(
+        config=FreqTierConfig(
+            granularity_pages=8,
+            sample_batch_size=500,
+            pebs_base_period=4,
+            window_accesses=80_000,
+        ),
+        seed=31,
+    ),
+    "autonuma": lambda: AutoNUMA(scan_period_accesses=5_000, seed=31),
+    "tpp": lambda: TPP(scan_period_accesses=5_000, seed=31),
+    "hemem": lambda: HeMem(sample_batch_size=500, pebs_base_period=4, seed=31),
+    "multiclock": lambda: MultiClock(
+        sample_batch_size=500, pebs_base_period=4, seed=31
+    ),
+    "damon": lambda: DAMONRegion(
+        adjust_interval_accesses=20_000, pebs_base_period=4, seed=31
+    ),
+    "static": StaticNoMigration,
+}
+
+
+@pytest.mark.parametrize("workload_name", list(WORKLOADS))
+@pytest.mark.parametrize("policy_name", list(POLICIES))
+def test_matrix_cell(workload_name, policy_name):
+    workload = WORKLOADS[workload_name]()
+    config = ExperimentConfig(
+        local_fraction=0.08, ratio_label="1:16", max_batches=25, seed=31
+    )
+    machine = build_machine(workload.footprint_pages, config)
+    policy = POLICIES[policy_name]()
+    engine = SimulationEngine(machine, workload, policy)
+    result = engine.run(max_batches=25)
+
+    # Machine invariants survived the pairing.
+    assert machine.page_table.mapped_pages == workload.footprint_pages
+    assert (
+        machine.local_used_pages + machine.reserved_local_pages
+        <= machine.config.local_capacity_pages
+    )
+    assert machine.cxl_used_pages <= machine.config.cxl_capacity_pages
+    placement = machine.page_table.tier_of(np.arange(workload.footprint_pages))
+    assert np.all(placement >= 0)
+
+    # Metrics are sane.
+    assert result.total_time_ns > 0
+    assert 0.0 <= result.overall_hit_ratio <= 1.0
+    assert result.pages_migrated == (
+        result.policy_stats["promotions"] + result.policy_stats["demotions"]
+    )

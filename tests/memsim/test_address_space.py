@@ -1,0 +1,109 @@
+"""Tests for the virtual address space / VMA model."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.address_space import AddressSpace, VMARegion
+
+
+class TestVMARegion:
+    def test_bounds(self):
+        r = VMARegion(10, 5)
+        assert r.end_page == 15
+        assert r.contains(10)
+        assert r.contains(14)
+        assert not r.contains(15)
+        assert not r.contains(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VMARegion(-1, 5)
+        with pytest.raises(ValueError):
+            VMARegion(0, 0)
+
+
+class TestAddressSpace:
+    def test_sequential_mapping(self):
+        space = AddressSpace()
+        r1 = space.map_region(100, name="a")
+        r2 = space.map_region(50, name="b")
+        assert r1.start_page == 0
+        assert r2.start_page == 100
+        assert space.total_pages == 150
+        assert space.max_page == 150
+
+    def test_region_of(self):
+        space = AddressSpace()
+        space.map_region(10, name="a")
+        space.map_region(10, name="b")
+        assert space.region_of(5).name == "a"
+        assert space.region_of(15).name == "b"
+        assert space.region_of(25) is None
+
+    def test_all_pages_ordered(self):
+        space = AddressSpace()
+        space.map_region(5)
+        space.map_region(3)
+        pages = space.all_pages()
+        assert np.array_equal(pages, np.arange(8))
+
+    def test_empty_space(self):
+        space = AddressSpace()
+        assert space.total_pages == 0
+        assert space.all_pages().size == 0
+
+
+class TestScanFrom:
+    """The demotion scan's cursor semantics (paper Fig. 7)."""
+
+    @pytest.fixture
+    def space(self) -> AddressSpace:
+        s = AddressSpace()
+        s.map_region(10)
+        s.map_region(10)
+        return s
+
+    def test_basic_scan(self, space):
+        pages, resume = space.scan_from(0, 5)
+        assert np.array_equal(pages, [0, 1, 2, 3, 4])
+        assert resume == 5
+
+    def test_resume_continues(self, space):
+        __, resume = space.scan_from(0, 5)
+        pages, __ = space.scan_from(resume, 5)
+        assert np.array_equal(pages, [5, 6, 7, 8, 9])
+
+    def test_crosses_region_boundary(self, space):
+        pages, resume = space.scan_from(8, 4)
+        assert np.array_equal(pages, [8, 9, 10, 11])
+        assert resume == 12
+
+    def test_wraps_around(self, space):
+        pages, resume = space.scan_from(18, 4)
+        assert np.array_equal(pages, [18, 19, 0, 1])
+        assert resume == 2
+
+    def test_full_wrap_covers_everything_once(self, space):
+        pages, resume = space.scan_from(7, 20)
+        assert len(pages) == 20
+        assert len(np.unique(pages)) == 20
+        # Cursor ends right where it started (one full lap).
+        assert resume == 7
+
+    def test_count_capped_at_total(self, space):
+        pages, __ = space.scan_from(0, 100)
+        assert len(pages) == 20
+
+    def test_zero_count(self, space):
+        pages, resume = space.scan_from(3, 0)
+        assert pages.size == 0
+        assert resume == 3
+
+    def test_empty_space_scan(self):
+        space = AddressSpace()
+        pages, resume = space.scan_from(0, 10)
+        assert pages.size == 0
+
+    def test_resume_at_end_wraps_to_zero(self, space):
+        __, resume = space.scan_from(15, 5)
+        assert resume == 0

@@ -1,0 +1,152 @@
+"""Tests for the tiered machine (allocation, watermarks, migration)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.machine import CapacityError, Machine, MachineConfig
+from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
+
+
+class TestConfigValidation:
+    def test_nonpositive_capacities(self):
+        with pytest.raises(ValueError):
+            MachineConfig(local_capacity_pages=0, cxl_capacity_pages=10)
+        with pytest.raises(ValueError):
+            MachineConfig(local_capacity_pages=10, cxl_capacity_pages=-1)
+
+    def test_watermark_ordering(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                local_capacity_pages=10,
+                cxl_capacity_pages=10,
+                demote_wmark_frac=0.01,
+                promo_wmark_frac=0.02,
+            )
+
+    def test_local_ratio(self):
+        cfg = MachineConfig(local_capacity_pages=10, cxl_capacity_pages=310)
+        assert cfg.local_ratio == pytest.approx(10 / 320)
+
+
+class TestAllocation:
+    def test_local_first(self, tiny_machine):
+        tiny_machine.allocate(5)
+        assert tiny_machine.local_used_pages == 5
+        assert tiny_machine.cxl_used_pages == 0
+
+    def test_spill_to_cxl(self, tiny_machine):
+        tiny_machine.allocate(20)
+        assert tiny_machine.local_used_pages == 8
+        assert tiny_machine.cxl_used_pages == 12
+
+    def test_capacity_error(self, tiny_machine):
+        with pytest.raises(CapacityError):
+            tiny_machine.allocate(100)
+
+    def test_region_registered_in_address_space(self, tiny_machine):
+        region = tiny_machine.allocate(6, name="heap")
+        assert tiny_machine.address_space.region_of(region.start_page).name == "heap"
+
+    def test_multiple_allocations_contiguous(self, tiny_machine):
+        r1 = tiny_machine.allocate(3)
+        r2 = tiny_machine.allocate(4)
+        assert r2.start_page == r1.end_page
+
+
+class TestMigration:
+    @pytest.fixture
+    def machine(self, tiny_machine) -> Machine:
+        tiny_machine.allocate(30)  # 8 local + 22 cxl
+        return tiny_machine
+
+    def test_demote(self, machine):
+        moved = machine.demote(np.arange(0, 4))
+        assert moved == 4
+        assert machine.local_used_pages == 4
+        assert machine.traffic.pages_demoted == 4
+
+    def test_promote_requires_free_local(self, machine):
+        # Local is full: promotion moves nothing.
+        assert machine.promote(np.arange(8, 12)) == 0
+
+    def test_promote_after_demote(self, machine):
+        machine.demote(np.arange(0, 4))
+        moved = machine.promote(np.arange(8, 20))
+        assert moved == 4  # truncated to free local capacity
+        assert machine.local_used_pages == 8
+
+    def test_skip_pages_already_on_target(self, machine):
+        assert machine.demote(np.arange(8, 12)) == 0  # already CXL
+
+    def test_skip_unmapped_pages(self, machine):
+        assert machine.promote(np.array([50])) == 0
+
+    def test_empty_move(self, machine):
+        assert machine.move_pages(np.zeros(0, dtype=np.int64), LOCAL_TIER) == 0
+
+
+class TestWatermarks:
+    def test_watermark_pages(self):
+        m = Machine(
+            MachineConfig(
+                local_capacity_pages=1000,
+                cxl_capacity_pages=1000,
+                demote_wmark_frac=0.04,
+                promo_wmark_frac=0.02,
+            )
+        )
+        assert m.demote_wmark_pages == 40
+        assert m.promo_wmark_pages == 20
+
+    def test_watermark_floors_at_tiny_capacity(self):
+        m = Machine(MachineConfig(local_capacity_pages=10, cxl_capacity_pages=10))
+        assert m.demote_wmark_pages >= 2
+        assert m.promo_wmark_pages >= 1
+
+    def test_below_promo_wmark_when_full(self, tiny_machine):
+        tiny_machine.allocate(30)
+        assert tiny_machine.local_free_pages == 0
+        assert tiny_machine.below_promo_wmark()
+
+    def test_demotion_deficit(self, tiny_machine):
+        tiny_machine.allocate(30)
+        deficit = tiny_machine.demotion_deficit_pages()
+        assert deficit == tiny_machine.demote_wmark_pages + 1
+
+    def test_above_demote_wmark_after_demotion(self, tiny_machine):
+        tiny_machine.allocate(30)
+        tiny_machine.demote(np.arange(0, tiny_machine.demotion_deficit_pages()))
+        assert tiny_machine.above_demote_wmark()
+
+
+class TestAccessServicing:
+    def test_counts_by_tier(self, tiny_machine):
+        tiny_machine.allocate(30)
+        local, cxl = tiny_machine.service_accesses(np.arange(0, 16))
+        assert local == 8
+        assert cxl == 8
+        assert tiny_machine.traffic.total_accesses == 16
+
+    def test_unmapped_access_raises(self, tiny_machine):
+        tiny_machine.allocate(5)
+        with pytest.raises(RuntimeError):
+            tiny_machine.service_accesses(np.array([40]))
+
+    def test_empty_batch(self, tiny_machine):
+        assert tiny_machine.service_accesses(np.zeros(0, dtype=np.int64)) == (0, 0)
+
+
+class TestReservations:
+    def test_reservation_shrinks_free(self, tiny_machine):
+        tiny_machine.reserve_local_pages(3)
+        assert tiny_machine.local_free_pages == 5
+        tiny_machine.allocate(10)
+        assert tiny_machine.local_used_pages == 5
+
+    def test_over_reservation_rejected(self, tiny_machine):
+        with pytest.raises(CapacityError):
+            tiny_machine.reserve_local_pages(9)
+
+    def test_negative_rejected(self, tiny_machine):
+        with pytest.raises(ValueError):
+            tiny_machine.reserve_local_pages(-1)

@@ -1,0 +1,84 @@
+"""Tests for the page table / pagemap model."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER, UNMAPPED, PageTable
+
+
+@pytest.fixture
+def table() -> PageTable:
+    return PageTable(capacity_pages=100)
+
+
+class TestPlacement:
+    def test_initially_unmapped(self, table):
+        assert table.tier_of(0) == UNMAPPED
+        assert table.mapped_pages == 0
+
+    def test_place_and_lookup(self, table):
+        table.place(np.arange(10), LOCAL_TIER)
+        assert table.tier_of(5) == LOCAL_TIER
+        assert table.count_in_tier(LOCAL_TIER) == 10
+
+    def test_replace_moves_between_tiers(self, table):
+        table.place(np.arange(10), LOCAL_TIER)
+        table.place(np.arange(5), CXL_TIER)
+        assert table.count_in_tier(LOCAL_TIER) == 5
+        assert table.count_in_tier(CXL_TIER) == 5
+
+    def test_unmap(self, table):
+        table.place(np.arange(10), LOCAL_TIER)
+        table.unmap(np.arange(4))
+        assert table.count_in_tier(LOCAL_TIER) == 6
+        assert table.tier_of(0) == UNMAPPED
+
+    def test_vectorized_lookup(self, table):
+        table.place(np.array([1, 3]), LOCAL_TIER)
+        table.place(np.array([2]), CXL_TIER)
+        out = table.tier_of(np.array([1, 2, 3, 4]))
+        assert np.array_equal(out, [LOCAL_TIER, CXL_TIER, LOCAL_TIER, UNMAPPED])
+
+    def test_pages_in_tier(self, table):
+        table.place(np.array([7, 3, 9]), CXL_TIER)
+        assert np.array_equal(table.pages_in_tier(CXL_TIER), [3, 7, 9])
+
+    def test_invalid_tier_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.place(np.array([0]), 5)
+        with pytest.raises(ValueError):
+            table.count_in_tier(-1)
+
+    def test_out_of_range_page(self, table):
+        with pytest.raises(IndexError):
+            table.place(np.array([100]), LOCAL_TIER)
+        with pytest.raises(IndexError):
+            table.tier_of(np.array([-1]))
+
+    def test_counts_consistent_after_mixed_ops(self, table):
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            pages = rng.choice(100, size=10, replace=False)
+            tier = int(rng.integers(0, 2))
+            table.place(pages, tier)
+        placement = table.tier_of(np.arange(100))
+        assert table.count_in_tier(LOCAL_TIER) == np.sum(placement == LOCAL_TIER)
+        assert table.count_in_tier(CXL_TIER) == np.sum(placement == CXL_TIER)
+
+
+class TestPagemapReads:
+    def test_batch_read_values(self, table):
+        table.place(np.arange(10), LOCAL_TIER)
+        out = table.pagemap_read_batch(np.arange(5, 15))
+        assert np.array_equal(out[:5], [LOCAL_TIER] * 5)
+        assert np.array_equal(out[5:], [UNMAPPED] * 5)
+
+    def test_read_counter_tracks_batches(self, table):
+        table.pagemap_read_batch(np.arange(10))
+        table.pagemap_read_batch(np.arange(20))
+        assert table.pagemap_reads == 2
+        assert table.pagemap_pages_read == 30
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable(0)

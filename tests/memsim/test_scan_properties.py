@@ -1,0 +1,99 @@
+"""Property-based tests for the demotion scan and cost model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.costmodel import CostModel
+from repro.memsim.tier import CXL1_CONFIG
+
+
+@st.composite
+def space_and_scan(draw):
+    region_sizes = draw(
+        st.lists(st.integers(1, 50), min_size=1, max_size=6)
+    )
+    total = sum(region_sizes)
+    start = draw(st.integers(0, total))
+    count = draw(st.integers(0, 2 * total))
+    return region_sizes, start, count
+
+
+@given(space_and_scan())
+@settings(max_examples=150, deadline=None)
+def test_scan_from_invariants(params):
+    region_sizes, start, count = params
+    space = AddressSpace()
+    for size in region_sizes:
+        space.map_region(size)
+    total = space.total_pages
+
+    pages, resume = space.scan_from(start, count)
+
+    # Never more than requested, never more than exist, no duplicates.
+    assert len(pages) <= min(count, total)
+    assert len(np.unique(pages)) == len(pages)
+    # All returned pages are mapped.
+    for p in pages[:20]:
+        assert space.is_mapped(int(p))
+    # Full requests return everything.
+    if count >= total:
+        assert len(pages) == total
+    # The resume cursor is within the address space.
+    assert 0 <= resume <= space.max_page
+
+
+@given(space_and_scan())
+@settings(max_examples=80, deadline=None)
+def test_repeated_scans_cover_whole_space(params):
+    region_sizes, start, __ = params
+    space = AddressSpace()
+    for size in region_sizes:
+        space.map_region(size)
+    total = space.total_pages
+    chunk = max(1, total // 3)
+
+    seen: set[int] = set()
+    cursor = start
+    for __ in range(6):  # 6 chunks of total/3 >= one full lap
+        pages, cursor = space.scan_from(cursor, chunk)
+        seen.update(int(p) for p in pages)
+    assert len(seen) == total
+
+
+@given(
+    local=st.integers(0, 50_000),
+    cxl=st.integers(0, 50_000),
+    extra=st.integers(1, 10_000),
+    bpa=st.sampled_from([64, 256, 1024]),
+)
+@settings(max_examples=100, deadline=None)
+def test_cost_monotone_in_accesses(local, cxl, extra, bpa):
+    model = CostModel(CXL1_CONFIG)
+    base = model.batch_cost(0.0, local, cxl, bytes_per_access=bpa).total_ns
+    more_local = model.batch_cost(
+        0.0, local + extra, cxl, bytes_per_access=bpa
+    ).total_ns
+    more_cxl = model.batch_cost(
+        0.0, local, cxl + extra, bytes_per_access=bpa
+    ).total_ns
+    assert more_local >= base
+    assert more_cxl >= base
+    # CXL accesses are never cheaper than local ones.
+    assert more_cxl >= more_local
+
+
+@given(
+    accesses=st.integers(0, 50_000),
+    migrated=st.integers(0, 5_000),
+    overhead=st.floats(0, 1e7),
+)
+@settings(max_examples=100, deadline=None)
+def test_cost_monotone_in_interference(accesses, migrated, overhead):
+    model = CostModel(CXL1_CONFIG)
+    base = model.batch_cost(0.0, accesses, accesses).total_ns
+    loaded = model.batch_cost(
+        0.0, accesses, accesses, pages_migrated=migrated, overhead_ns=overhead
+    ).total_ns
+    assert loaded >= base

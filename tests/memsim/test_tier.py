@@ -1,0 +1,67 @@
+"""Tests for memory tier specs (paper Fig. 8)."""
+
+import pytest
+
+from repro.memsim.tier import (
+    CXL1_CONFIG,
+    CXL1_MEMORY,
+    CXL2_CONFIG,
+    CXL2_MEMORY,
+    LOCAL_DRAM,
+    TieredMemoryConfig,
+    TierSpec,
+)
+
+
+class TestTierSpec:
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            TierSpec(name="x", latency_ns=0, bandwidth_gbps=10)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            TierSpec(name="x", latency_ns=100, bandwidth_gbps=-1)
+
+    def test_bandwidth_unit_conversion(self):
+        spec = TierSpec(name="x", latency_ns=100, bandwidth_gbps=40)
+        # 1 GB/s == 1 byte/ns.
+        assert spec.bandwidth_bytes_per_ns == 40
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            LOCAL_DRAM.latency_ns = 1  # type: ignore[misc]
+
+
+class TestPaperNumbers:
+    """The presets must match the paper's Fig. 8 characterization."""
+
+    def test_cxl_latency_adder_in_paper_range(self):
+        # Paper Fig. 1/8: CXL adds ~50-100+ ns over local DRAM.
+        adder1 = CXL1_MEMORY.latency_ns - LOCAL_DRAM.latency_ns
+        assert 50 <= adder1 <= 150
+        adder2 = CXL2_MEMORY.latency_ns - LOCAL_DRAM.latency_ns
+        assert adder2 > adder1
+
+    def test_cxl1_bandwidth_fraction(self):
+        # Paper: CXL devices reach 20-70% of local DRAM bandwidth.
+        assert 0.2 <= CXL1_CONFIG.bandwidth_fraction <= 0.7
+
+    def test_cxl2_is_low_bandwidth(self):
+        # CXL-2 is the single-channel slow device.
+        assert CXL2_CONFIG.bandwidth_fraction < 0.1
+        assert CXL2_MEMORY.bandwidth_gbps < CXL1_MEMORY.bandwidth_gbps
+
+    def test_latency_ratio(self):
+        assert CXL1_CONFIG.latency_ratio > 1.5
+        assert CXL2_CONFIG.latency_ratio > CXL1_CONFIG.latency_ratio
+
+
+class TestTieredMemoryConfig:
+    def test_custom_config(self):
+        cfg = TieredMemoryConfig(
+            name="t",
+            local=TierSpec("l", 100, 80),
+            cxl=TierSpec("c", 300, 20),
+        )
+        assert cfg.latency_ratio == 3.0
+        assert cfg.bandwidth_fraction == 0.25

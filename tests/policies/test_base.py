@@ -1,0 +1,61 @@
+"""Tests for the policy base class and stats."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.machine import Machine, MachineConfig
+from repro.policies.base import PolicyStats, TieringPolicy
+from repro.sampling.events import AccessBatch
+
+
+class _Recorder(TieringPolicy):
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def on_batch(self, batch, tiers, now_ns):
+        self.calls.append((batch.num_accesses, now_ns))
+        return 1.5
+
+
+class TestTieringPolicy:
+    def test_machine_property_requires_attach(self):
+        policy = _Recorder()
+        with pytest.raises(RuntimeError):
+            policy.machine
+
+    def test_attach_binds_machine(self):
+        policy = _Recorder()
+        machine = Machine(MachineConfig(local_capacity_pages=8, cxl_capacity_pages=8))
+        policy.attach(machine)
+        assert policy.machine is machine
+
+    def test_record_migrations_updates_stats(self):
+        policy = _Recorder()
+        policy._record_migrations(10, 0)
+        policy._record_migrations(0, 5)
+        policy._record_migrations(3, 2)
+        assert policy.stats.promotions == 13
+        assert policy.stats.demotions == 7
+        assert policy.stats.promotion_calls == 2
+        assert policy.stats.demotion_calls == 2
+
+    def test_zero_migrations_not_counted_as_calls(self):
+        policy = _Recorder()
+        policy._record_migrations(0, 0)
+        assert policy.stats.promotion_calls == 0
+        assert policy.stats.demotion_calls == 0
+
+    def test_describe(self):
+        assert _Recorder().describe() == {"name": "recorder"}
+
+
+class TestPolicyStats:
+    def test_as_dict_includes_extra(self):
+        stats = PolicyStats()
+        stats.extra["custom"] = 7.0
+        d = stats.as_dict()
+        assert d["custom"] == 7.0
+        assert d["promotions"] == 0

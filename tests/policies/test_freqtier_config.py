@@ -1,0 +1,59 @@
+"""Tests for FreqTierConfig validation and derived values."""
+
+import pytest
+
+from repro.cbf.sizing import counters_for_fpr
+from repro.policies.freqtier.config import FreqTierConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = FreqTierConfig()
+        assert cfg.initial_hot_threshold == 5  # the paper's default
+        assert cfg.cbf_bits == 4
+        assert cfg.cbf_target_fpr == 1e-3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_hot_threshold": 0},
+            {"sample_batch_size": 0},
+            {"cbf_target_fpr": 0.0},
+            {"cbf_target_fpr": 1.0},
+            {"window_accesses": 0},
+            {"granularity_pages": 0},
+            {"runtime_mode": "hypervisor"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FreqTierConfig(**kwargs)
+
+
+class TestCBFSizing:
+    def test_auto_size_uses_fpr_rule(self):
+        cfg = FreqTierConfig()
+        assert cfg.resolve_cbf_size(4096) == counters_for_fpr(4096, 1e-3, 3)
+
+    def test_explicit_size_wins(self):
+        cfg = FreqTierConfig(cbf_num_counters=1234)
+        assert cfg.resolve_cbf_size(4096) == 1234
+
+    def test_zero_capacity_clamped(self):
+        cfg = FreqTierConfig()
+        assert cfg.resolve_cbf_size(0) >= 1
+
+
+class TestRuntimeMode:
+    def test_userspace_costs_undiscounted(self):
+        cfg = FreqTierConfig(runtime_mode="userspace")
+        assert cfg.effective_move_pages_ns == cfg.move_pages_syscall_ns
+        assert cfg.effective_pagemap_read_ns == cfg.pagemap_read_ns
+
+    def test_kernel_costs_discounted(self):
+        cfg = FreqTierConfig(runtime_mode="kernel")
+        assert cfg.effective_move_pages_ns < cfg.move_pages_syscall_ns
+        assert cfg.effective_pagemap_read_ns < cfg.pagemap_read_ns
+        assert cfg.effective_move_pages_ns == pytest.approx(
+            cfg.move_pages_syscall_ns * FreqTierConfig.KERNEL_BOUNDARY_DISCOUNT
+        )

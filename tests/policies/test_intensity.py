@@ -1,0 +1,133 @@
+"""Tests for the dynamic tiering-intensity state machine (Fig. 6)."""
+
+import pytest
+
+from repro.policies.freqtier.intensity import (
+    IntensityController,
+    TieringState,
+    WindowReport,
+)
+from repro.sampling.pebs import SamplingLevel
+
+
+def window(promoted=10, empty_scan=False, rounds=1) -> WindowReport:
+    return WindowReport(
+        hit_ratio=None,
+        pages_promoted=promoted,
+        empty_demotion_scan=empty_scan,
+        processing_rounds=rounds,
+    )
+
+
+def feed_stable(ctl: IntensityController, local=900, cxl=100):
+    ctl.count_accesses(local, cxl)
+
+
+class TestLevelLadder:
+    def test_starts_sampling_high(self):
+        ctl = IntensityController()
+        assert ctl.state == TieringState.SAMPLING
+        assert ctl.level == SamplingLevel.HIGH
+
+    def test_stable_windows_step_down(self):
+        # Stability needs two closed windows, so the ladder moves from
+        # the second stable window onward.
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(), now_ns=0.0)
+        assert ctl.level == SamplingLevel.HIGH
+        for expected in (SamplingLevel.MEDIUM, SamplingLevel.LOW):
+            feed_stable(ctl)
+            ctl.end_window(window(), now_ns=0.0)
+            assert ctl.level == expected
+        # One more stable window at LOW -> monitoring.
+        feed_stable(ctl)
+        ctl.end_window(window(), now_ns=0.0)
+        assert ctl.state == TieringState.MONITORING
+        assert ctl.level == SamplingLevel.OFF
+
+    def test_unstable_window_steps_up(self):
+        ctl = IntensityController()
+        # Three stable windows: HIGH (no info) -> MEDIUM -> LOW.
+        for __ in range(3):
+            feed_stable(ctl)
+            ctl.end_window(window(), 0.0)
+        assert ctl.level == SamplingLevel.LOW
+        # Unstable ratio: jump from 0.9 to 0.5.
+        ctl.count_accesses(500, 500)
+        ctl.end_window(window(), 0.0)
+        assert ctl.level == SamplingLevel.MEDIUM
+
+    def test_level_capped_at_high(self):
+        ctl = IntensityController()
+        ctl.count_accesses(900, 100)
+        ctl.end_window(window(), 0.0)
+        ctl.count_accesses(100, 900)
+        ctl.end_window(window(), 0.0)
+        assert ctl.level <= SamplingLevel.HIGH
+
+    def test_first_window_never_steps(self):
+        # A single window has no stability information.
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(), 0.0)
+        assert ctl.level == SamplingLevel.HIGH
+
+
+class TestMonitoringTriggers:
+    def test_promotion_plateau_enters_monitoring(self):
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(promoted=0, rounds=3), 0.0)
+        assert ctl.state == TieringState.MONITORING
+        assert any("plateau" in e for __, e in ctl.transitions)
+
+    def test_plateau_requires_processing_rounds(self):
+        """No promotion pass ran -> not a plateau (e.g. first window)."""
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(promoted=0, rounds=0), 0.0)
+        assert ctl.state == TieringState.SAMPLING
+
+    def test_empty_demotion_scan_enters_monitoring(self):
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(empty_scan=True), 0.0)
+        assert ctl.state == TieringState.MONITORING
+        assert any("empty-demotion-scan" in e for __, e in ctl.transitions)
+
+
+class TestMonitoringMode:
+    def make_monitoring(self) -> IntensityController:
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(promoted=0, rounds=1), 0.0)
+        assert ctl.state == TieringState.MONITORING
+        return ctl
+
+    def test_stays_monitoring_while_stable(self):
+        ctl = self.make_monitoring()
+        for __ in range(5):
+            feed_stable(ctl)
+            ctl.end_window(window(), 0.0)
+        assert ctl.state == TieringState.MONITORING
+
+    def test_distribution_change_resumes_sampling_at_high(self):
+        """Paper Fig. 11: monitoring detects the shift and re-arms."""
+        ctl = self.make_monitoring()
+        ctl.count_accesses(300, 700)  # hit ratio collapsed
+        ctl.end_window(window(), now_ns=42.0)
+        assert ctl.state == TieringState.SAMPLING
+        assert ctl.level == SamplingLevel.HIGH
+        assert any("resume-sampling" in e for __, e in ctl.transitions)
+
+    def test_empty_monitoring_window_is_ignored(self):
+        ctl = self.make_monitoring()
+        ctl.end_window(window(), 0.0)  # no accesses counted
+        assert ctl.state == TieringState.MONITORING
+
+    def test_sampling_active_flag(self):
+        ctl = IntensityController()
+        assert ctl.sampling_active
+        ctl2 = self.make_monitoring()
+        assert not ctl2.sampling_active

@@ -1,0 +1,112 @@
+"""Tests for the dynamic hot-threshold controller (Section V-C(a))."""
+
+import numpy as np
+import pytest
+
+from repro.cbf.cbf import CountingBloomFilter
+from repro.policies.freqtier.threshold import HotThresholdController
+
+
+def cbf_with_hot_pages(num_hot: int, freq: int = 10) -> CountingBloomFilter:
+    cbf = CountingBloomFilter(num_counters=16_384, num_hashes=3, bits=4, seed=1)
+    if num_hot:
+        cbf.increase(
+            np.arange(num_hot, dtype=np.uint64), np.full(num_hot, freq)
+        )
+    return cbf
+
+
+class TestConstruction:
+    def test_defaults(self):
+        ctl = HotThresholdController(cbf_with_hot_pages(0), 100)
+        assert ctl.threshold == 5
+
+    def test_initial_threshold_validated(self):
+        with pytest.raises(ValueError):
+            HotThresholdController(
+                cbf_with_hot_pages(0), 100, initial_threshold=99
+            )
+
+    def test_fill_bounds_validated(self):
+        with pytest.raises(ValueError):
+            HotThresholdController(
+                cbf_with_hot_pages(0), 100, high_fill=0.4, low_fill=0.5
+            )
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            HotThresholdController(cbf_with_hot_pages(0), 0)
+
+
+class TestEstimation:
+    def test_estimates_scale_with_hot_pages(self):
+        small = HotThresholdController(cbf_with_hot_pages(50), 100)
+        large = HotThresholdController(cbf_with_hot_pages(500), 100)
+        assert large.estimated_hot_pages() > small.estimated_hot_pages() * 5
+
+    def test_estimate_close_to_truth_at_low_load(self):
+        ctl = HotThresholdController(cbf_with_hot_pages(100, freq=10), 100)
+        est = ctl.estimated_hot_pages(threshold=5)
+        assert est == pytest.approx(100, rel=0.25)
+
+
+class TestControl:
+    def test_raises_threshold_when_hot_set_too_big(self):
+        ctl = HotThresholdController(
+            cbf_with_hot_pages(1_000, freq=10), local_capacity_pages=100
+        )
+        before = ctl.threshold
+        ctl.update()
+        assert ctl.threshold == before + 1
+        assert ctl.adjustments == 1
+
+    def test_lowers_threshold_when_hot_set_too_small(self):
+        ctl = HotThresholdController(
+            cbf_with_hot_pages(10, freq=10), local_capacity_pages=1_000
+        )
+        before = ctl.threshold
+        ctl.update()
+        assert ctl.threshold == before - 1
+
+    def test_stable_when_hot_set_fits(self):
+        ctl = HotThresholdController(
+            cbf_with_hot_pages(100, freq=10),
+            local_capacity_pages=100,
+        )
+        before = ctl.threshold
+        ctl.update()
+        assert ctl.threshold == before
+
+    def test_respects_bounds(self):
+        ctl = HotThresholdController(
+            cbf_with_hot_pages(1_000, freq=15),
+            local_capacity_pages=10,
+            initial_threshold=14,
+            max_threshold=15,
+        )
+        for __ in range(5):
+            ctl.update()
+        assert ctl.threshold <= 15
+
+        ctl2 = HotThresholdController(
+            cbf_with_hot_pages(0),
+            local_capacity_pages=1_000,
+            initial_threshold=2,
+            min_threshold=1,
+        )
+        for __ in range(5):
+            ctl2.update()
+        assert ctl2.threshold >= 1
+
+    def test_converges_to_capacity_matched_threshold(self):
+        """Feedback drives the hot-set size toward local capacity."""
+        cbf = CountingBloomFilter(num_counters=65_536, num_hashes=3, bits=4, seed=2)
+        # 100 very hot pages, 900 medium, 4000 cool.
+        cbf.increase(np.arange(100, dtype=np.uint64), 15)
+        cbf.increase(np.arange(100, 1000, dtype=np.uint64), 8)
+        cbf.increase(np.arange(1000, 5000, dtype=np.uint64), 2)
+        ctl = HotThresholdController(cbf, local_capacity_pages=150, initial_threshold=5)
+        for __ in range(20):
+            ctl.update()
+        # Threshold must exceed the medium tier (8) to fit ~150 pages.
+        assert ctl.threshold > 8

@@ -1,0 +1,38 @@
+"""Tests for sampling event types."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.events import AccessBatch, SampleBatch
+
+
+class TestAccessBatch:
+    def test_basic(self):
+        b = AccessBatch(page_ids=np.array([1, 2, 3]), num_ops=2.0, cpu_ns=10.0)
+        assert b.num_accesses == 3
+        assert b.bytes_per_access == 64.0
+
+    def test_coerces_dtype(self):
+        b = AccessBatch(page_ids=[1, 2], num_ops=1.0, cpu_ns=0.0)
+        assert b.page_ids.dtype == np.int64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessBatch(page_ids=np.array([1]), num_ops=-1.0, cpu_ns=0.0)
+        with pytest.raises(ValueError):
+            AccessBatch(page_ids=np.array([1]), num_ops=1.0, cpu_ns=-1.0)
+        with pytest.raises(ValueError):
+            AccessBatch(
+                page_ids=np.array([1]), num_ops=1.0, cpu_ns=0.0, bytes_per_access=0
+            )
+
+
+class TestSampleBatch:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            SampleBatch(page_ids=np.array([1, 2]), tiers=np.array([0]))
+
+    def test_empty(self):
+        b = SampleBatch.empty()
+        assert b.num_samples == 0
+        assert b.lost == 0

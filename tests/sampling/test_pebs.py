@@ -1,0 +1,116 @@
+"""Tests for the PEBS sampler model."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.events import AccessBatch
+from repro.sampling.pebs import PEBSSampler, SamplingLevel
+
+
+def make_batch(n: int) -> AccessBatch:
+    return AccessBatch(page_ids=np.arange(n), num_ops=1.0, cpu_ns=0.0)
+
+
+class TestLevels:
+    def test_period_ladder_is_decades(self):
+        s = PEBSSampler(base_period=64)
+        s.set_level(SamplingLevel.HIGH)
+        assert s.period == 64
+        s.set_level(SamplingLevel.MEDIUM)
+        assert s.period == 640
+        s.set_level(SamplingLevel.LOW)
+        assert s.period == 6400
+
+    def test_off_level(self):
+        s = PEBSSampler()
+        s.set_level(SamplingLevel.OFF)
+        assert s.period is None
+        assert s.sampling_probability == 0.0
+        s.observe(make_batch(1000), np.zeros(1000))
+        assert s.pending_samples == 0
+
+    def test_nominal_hz_labels(self):
+        assert SamplingLevel.HIGH.nominal_hz == 100_000
+        assert SamplingLevel.MEDIUM.nominal_hz == 10_000
+        assert SamplingLevel.LOW.nominal_hz == 1_000
+        assert SamplingLevel.OFF.nominal_hz == 0
+
+
+class TestSampling:
+    def test_rate_approximates_period(self):
+        s = PEBSSampler(base_period=10, seed=0)
+        s.observe(make_batch(100_000), np.zeros(100_000))
+        assert s.pending_samples == pytest.approx(10_000, rel=0.1)
+
+    def test_lower_level_samples_less(self):
+        high = PEBSSampler(base_period=10, seed=0)
+        low = PEBSSampler(base_period=10, seed=0)
+        low.set_level(SamplingLevel.LOW)
+        batch = make_batch(100_000)
+        high.observe(batch, np.zeros(100_000))
+        low.observe(batch, np.zeros(100_000))
+        assert low.pending_samples < high.pending_samples / 20
+
+    def test_samples_carry_tier_labels(self):
+        s = PEBSSampler(base_period=2, seed=1)
+        tiers = np.concatenate([np.zeros(500), np.ones(500)])
+        s.observe(
+            AccessBatch(page_ids=np.arange(1000), num_ops=1.0, cpu_ns=0.0), tiers
+        )
+        out = s.drain()
+        # Sampled tier composition mirrors the stream's.
+        assert 0.3 < out.tiers.mean() < 0.7
+
+    def test_sampled_pages_come_from_batch(self):
+        s = PEBSSampler(base_period=4, seed=2)
+        pages = np.arange(100, 200)
+        s.observe(AccessBatch(page_ids=pages, num_ops=1.0, cpu_ns=0.0), np.zeros(100))
+        out = s.drain()
+        assert np.all((out.page_ids >= 100) & (out.page_ids < 200))
+
+    def test_deterministic_with_seed(self):
+        a = PEBSSampler(base_period=8, seed=3)
+        b = PEBSSampler(base_period=8, seed=3)
+        batch = make_batch(10_000)
+        a.observe(batch, np.zeros(10_000))
+        b.observe(batch, np.zeros(10_000))
+        assert np.array_equal(a.drain().page_ids, b.drain().page_ids)
+
+
+class TestRingBuffer:
+    def test_overflow_drops_and_counts(self):
+        s = PEBSSampler(base_period=1, ring_capacity=100, seed=0)
+        s.observe(make_batch(500), np.zeros(500))
+        assert s.pending_samples == 100
+        out = s.drain()
+        assert out.num_samples == 100
+        assert out.lost == 400
+        assert s.total_lost == 400
+
+    def test_drain_resets(self):
+        s = PEBSSampler(base_period=1, seed=0)
+        s.observe(make_batch(10), np.zeros(10))
+        s.drain()
+        assert s.pending_samples == 0
+        out = s.drain()
+        assert out.num_samples == 0
+        assert out.lost == 0
+
+    def test_lost_counter_clears_after_drain(self):
+        s = PEBSSampler(base_period=1, ring_capacity=5, seed=0)
+        s.observe(make_batch(10), np.zeros(10))
+        assert s.drain().lost == 5
+        s.observe(make_batch(3), np.zeros(3))
+        assert s.drain().lost == 0
+
+
+class TestOverhead:
+    def test_overhead_linear_in_samples(self):
+        s = PEBSSampler(sample_cost_ns=100.0)
+        assert s.overhead_ns(50) == 5_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PEBSSampler(base_period=0)
+        with pytest.raises(ValueError):
+            PEBSSampler(ring_capacity=0)

@@ -1,0 +1,91 @@
+"""Tests for the counting-only monitor (monitoring mode)."""
+
+import pytest
+
+from repro.sampling.perf_stat import PerfStatCounter
+
+
+@pytest.fixture
+def counter() -> PerfStatCounter:
+    return PerfStatCounter(stability_epsilon=0.005)
+
+
+class TestWindows:
+    def test_window_hit_ratio(self, counter):
+        counter.count(90, 10)
+        assert counter.current_window_hit_ratio == pytest.approx(0.9)
+        ratio = counter.close_window()
+        assert ratio == pytest.approx(0.9)
+        assert counter.current_window_hit_ratio is None
+
+    def test_empty_window_returns_none(self, counter):
+        assert counter.close_window() is None
+
+    def test_overall_accumulates(self, counter):
+        counter.count(50, 50)
+        counter.close_window()
+        counter.count(100, 0)
+        assert counter.overall_hit_ratio == pytest.approx(150 / 200)
+
+    def test_history_bounded(self):
+        counter = PerfStatCounter(history=3)
+        for __ in range(10):
+            counter.count(1, 1)
+            counter.close_window()
+        assert len(counter._closed) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerfStatCounter(stability_epsilon=0.0)
+        with pytest.raises(ValueError):
+            PerfStatCounter(history=1)
+        with pytest.raises(ValueError):
+            PerfStatCounter().count(-1, 0)
+
+
+class TestStability:
+    """The paper's 0.5% stability rule (Section V-B2)."""
+
+    def test_stable_when_within_epsilon(self, counter):
+        counter.count(900, 100)
+        counter.close_window()
+        counter.count(901, 99)
+        counter.close_window()
+        assert counter.is_stable()
+
+    def test_unstable_when_beyond_epsilon(self, counter):
+        counter.count(90, 10)
+        counter.close_window()
+        counter.count(80, 20)
+        counter.close_window()
+        assert not counter.is_stable()
+
+    def test_needs_enough_windows(self, counter):
+        counter.count(90, 10)
+        counter.close_window()
+        assert not counter.is_stable()
+
+    def test_multi_window_stability(self, counter):
+        for local in (900, 902, 899, 901):
+            counter.count(local, 1000 - local)
+            counter.close_window()
+        assert counter.is_stable(windows=4)
+
+    def test_invalid_window_count(self, counter):
+        with pytest.raises(ValueError):
+            counter.is_stable(windows=1)
+
+
+class TestChangeDetection:
+    def test_detects_shift_from_reference(self, counter):
+        counter.count(90, 10)
+        counter.close_window()
+        assert counter.changed_since_stable(reference=0.95)
+
+    def test_no_change_within_epsilon(self, counter):
+        counter.count(949, 51)
+        counter.close_window()
+        assert not counter.changed_since_stable(reference=0.95)
+
+    def test_no_windows_no_change(self, counter):
+        assert not counter.changed_since_stable(reference=0.9)

@@ -1,0 +1,99 @@
+"""Tests for the hint-fault scanner (AutoNUMA/TPP machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.events import AccessBatch
+from repro.sampling.recency import HintFaultScanner
+
+
+def batch_of(pages) -> AccessBatch:
+    return AccessBatch(page_ids=np.asarray(pages), num_ops=1.0, cpu_ns=0.0)
+
+
+@pytest.fixture
+def scanner() -> HintFaultScanner:
+    return HintFaultScanner(total_pages=100, window_pages=10)
+
+
+class TestScanning:
+    def test_windows_advance(self, scanner):
+        w1 = scanner.scan_tick(0.0)
+        w2 = scanner.scan_tick(1.0)
+        assert np.array_equal(w1, np.arange(0, 10))
+        assert np.array_equal(w2, np.arange(10, 20))
+
+    def test_wraps_around(self, scanner):
+        for __ in range(10):
+            scanner.scan_tick(0.0)
+        w = scanner.scan_tick(1.0)
+        assert np.array_equal(w, np.arange(0, 10))
+
+    def test_partial_wrap_window(self):
+        s = HintFaultScanner(total_pages=25, window_pages=10)
+        s.scan_tick(0.0)
+        s.scan_tick(0.0)
+        w = s.scan_tick(0.0)  # pages 20..24 then 0..4
+        assert np.array_equal(w, [20, 21, 22, 23, 24, 0, 1, 2, 3, 4])
+
+    def test_window_larger_than_space_clamped(self):
+        s = HintFaultScanner(total_pages=5, window_pages=100)
+        w = s.scan_tick(0.0)
+        assert len(w) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HintFaultScanner(total_pages=0, window_pages=1)
+        with pytest.raises(ValueError):
+            HintFaultScanner(total_pages=10, window_pages=0)
+
+
+class TestFaults:
+    def test_fault_on_unmapped_access(self, scanner):
+        scanner.scan_tick(100.0)
+        faults = scanner.observe(batch_of([3, 50]), now_ns=400.0)
+        assert faults.count == 1
+        assert faults.page_ids[0] == 3
+        assert faults.latencies_ns[0] == pytest.approx(300.0)
+
+    def test_only_first_access_faults(self, scanner):
+        """The frequency-information loss of paper Fig. 3."""
+        scanner.scan_tick(0.0)
+        faults = scanner.observe(batch_of([5, 5, 5, 5]), now_ns=10.0)
+        assert faults.count == 1
+
+    def test_no_refault_across_batches(self, scanner):
+        scanner.scan_tick(0.0)
+        scanner.observe(batch_of([5]), now_ns=10.0)
+        faults = scanner.observe(batch_of([5]), now_ns=20.0)
+        assert faults.count == 0
+
+    def test_refault_after_rescan(self, scanner):
+        scanner.scan_tick(0.0)
+        scanner.observe(batch_of([5]), now_ns=10.0)
+        for __ in range(10):  # full sweep re-unmaps page 5
+            scanner.scan_tick(100.0)
+        faults = scanner.observe(batch_of([5]), now_ns=150.0)
+        assert faults.count == 1
+        assert faults.latencies_ns[0] == pytest.approx(50.0)
+
+    def test_no_faults_without_scan(self, scanner):
+        faults = scanner.observe(batch_of([1, 2, 3]), now_ns=5.0)
+        assert faults.count == 0
+
+    def test_empty_batch(self, scanner):
+        faults = scanner.observe(batch_of([]), now_ns=0.0)
+        assert faults.count == 0
+
+    def test_out_of_range_pages_ignored(self, scanner):
+        scanner.scan_tick(0.0)
+        faults = scanner.observe(batch_of([5, 1_000_000]), now_ns=1.0)
+        assert faults.count == 1
+
+    def test_fault_counter(self, scanner):
+        scanner.scan_tick(0.0)
+        scanner.observe(batch_of([1, 2, 3]), now_ns=1.0)
+        assert scanner.faults_taken == 3
+
+    def test_overhead(self, scanner):
+        assert scanner.overhead_ns(3) == pytest.approx(3_000.0)

@@ -1,0 +1,210 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestList:
+    def test_lists_registries(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "freqtier" in out
+        assert "cdn" in out
+        assert "gap-bfs" in out
+
+    def test_json_output(self, capsys):
+        out = run_cli(capsys, "list", "--json")
+        data = json.loads(out)
+        assert "autonuma" in data["policies"]
+        assert "xgboost" in data["workloads"]
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        out = run_cli(
+            capsys,
+            "run",
+            "--workload",
+            "zipf",
+            "--policy",
+            "freqtier",
+            "--batches",
+            "10",
+            "--local-fraction",
+            "0.1",
+        )
+        assert "hit_ratio" in out
+
+    def test_json_run_with_baseline(self, capsys):
+        out = run_cli(
+            capsys,
+            "run",
+            "--workload",
+            "zipf",
+            "--policy",
+            "static",
+            "--batches",
+            "5",
+            "--baseline",
+            "--json",
+        )
+        data = json.loads(out)
+        assert data["policy"] == "Static"
+        assert 0.0 < data["pct_all_local_throughput"] <= 1.001
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "zipf",
+                    "--policy",
+                    "nope",
+                    "--batches",
+                    "2",
+                ]
+            )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "nope",
+                    "--policy",
+                    "static",
+                    "--batches",
+                    "2",
+                ]
+            )
+
+    def test_cxl2_flag(self, capsys):
+        out = run_cli(
+            capsys,
+            "run",
+            "--workload",
+            "zipf",
+            "--policy",
+            "static",
+            "--batches",
+            "5",
+            "--cxl",
+            "2",
+            "--json",
+        )
+        assert json.loads(out)["workload"] == "synthetic-zipf"
+
+
+class TestCompare:
+    def test_default_lineup(self, capsys):
+        out = run_cli(
+            capsys,
+            "compare",
+            "--workload",
+            "zipf",
+            "--batches",
+            "8",
+            "--policies",
+            "freqtier,static",
+        )
+        assert "AllLocal" in out
+        assert "freqtier" in out
+        assert "static" in out
+
+    def test_json(self, capsys):
+        out = run_cli(
+            capsys,
+            "compare",
+            "--workload",
+            "zipf",
+            "--batches",
+            "5",
+            "--policies",
+            "static",
+            "--json",
+        )
+        data = json.loads(out)
+        assert set(data) == {"AllLocal", "static"}
+
+
+class TestSweep:
+    def test_sweep_rows(self, capsys):
+        out = run_cli(
+            capsys,
+            "sweep",
+            "--workload",
+            "zipf",
+            "--policy",
+            "static",
+            "--batches",
+            "5",
+            "--fractions",
+            "0.05,0.2",
+        )
+        assert "5.00%" in out
+        assert "20.00%" in out
+
+
+class TestCompareReport:
+    def test_report_written(self, capsys, tmp_path):
+        report_path = tmp_path / "report.md"
+        run_cli(
+            capsys,
+            "compare",
+            "--workload",
+            "zipf",
+            "--batches",
+            "5",
+            "--policies",
+            "static",
+            "--report",
+            str(report_path),
+        )
+        text = report_path.read_text()
+        assert "# zipf @" in text
+        assert "## Traffic breakdown" in text
+
+
+class TestRecordReplay:
+    def test_record_then_replay(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "t.npz")
+        out = run_cli(
+            capsys,
+            "record",
+            "--workload",
+            "zipf",
+            "--batches",
+            "4",
+            "--out",
+            trace_path,
+            "--json",
+        )
+        rec = json.loads(out)
+        assert rec["batches"] == 4
+
+        out = run_cli(
+            capsys,
+            "replay",
+            "--trace",
+            trace_path,
+            "--policy",
+            "static",
+            "--json",
+        )
+        data = json.loads(out)
+        assert data["workload"].startswith("trace:")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,37 @@
+"""Smoke checks for the example scripts.
+
+Each example is imported (not executed -- they only run under
+``__main__``) so that API drift in the library breaks the suite, not a
+user's first session.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    assert callable(module.main)
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "graph_analytics",
+        "churn_adaptation",
+        "capacity_planning",
+        "custom_policy",
+        "multihost_pooling",
+    } <= names

@@ -1,0 +1,67 @@
+"""Edge-case tests for the CXL pool rebalancer."""
+
+import pytest
+
+from repro.pooling.pool import CXLPool
+
+
+class TestRebalanceEdges:
+    def test_no_capacity_anywhere(self):
+        """Pressured host, but no unallocated pages and no slack:
+        rebalance must not invent capacity."""
+        pool = CXLPool(total_pages=200)
+        pool.register_host("a", 100)
+        pool.register_host("b", 100)
+        pool.report_usage("a", 100)
+        pool.report_usage("b", 95)  # not slack either
+        deltas = pool.rebalance()
+        assert pool.granted_total <= 200
+        assert sum(deltas.values()) <= 0 or not deltas
+
+    def test_donor_never_dips_below_margin(self):
+        pool = CXLPool(total_pages=1000)
+        pool.register_host("needy", 500)
+        pool.register_host("donor", 500)
+        pool.report_usage("needy", 500)
+        pool.report_usage("donor", 400)
+        pool.rebalance(pressure_margin_frac=0.05, transfer_quantum=500)
+        donor = pool.share_of("donor")
+        # Donor keeps its used pages plus the protective margin.
+        assert donor.granted_pages >= donor.used_pages
+
+    def test_multiple_pressured_hosts_share_remainder(self):
+        pool = CXLPool(total_pages=1000)
+        pool.register_host("a", 300)
+        pool.register_host("b", 300)
+        pool.report_usage("a", 300)
+        pool.report_usage("b", 300)
+        deltas = pool.rebalance(transfer_quantum=100)
+        # Both draw from the 400 unallocated pages.
+        assert deltas.get("a", 0) > 0
+        assert deltas.get("b", 0) > 0
+        assert pool.granted_total <= 1000
+
+    def test_repeated_rebalances_converge(self):
+        pool = CXLPool(total_pages=1000)
+        pool.register_host("a", 400)
+        pool.register_host("b", 600)
+        pool.report_usage("a", 400)
+        pool.report_usage("b", 50)
+        for __ in range(50):
+            pool.report_usage(
+                "a", min(400, pool.share_of("a").granted_pages)
+            )
+            pool.report_usage("b", 50)
+            pool.rebalance()
+            assert pool.granted_total <= 1000
+        # "a" ended with strictly more than it started with.
+        assert pool.share_of("a").granted_pages > 400
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            CXLPool(0)
+
+    def test_zero_grant_rejected(self):
+        pool = CXLPool(10)
+        with pytest.raises(ValueError):
+            pool.register_host("a", 0)

@@ -1,0 +1,43 @@
+"""Tests for units and scaling conventions."""
+
+import pytest
+
+from repro._units import (
+    GiB,
+    PAGE_SIZE,
+    PAGES_PER_SIM_GB,
+    SCALE_FACTOR,
+    bytes_to_pages,
+    pages_to_bytes,
+    pages_to_sim_gb,
+    sim_gb_to_pages,
+)
+
+
+class TestConstants:
+    def test_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+    def test_pages_per_sim_gb_consistent(self):
+        assert PAGES_PER_SIM_GB == GiB // SCALE_FACTOR // PAGE_SIZE
+        assert PAGES_PER_SIM_GB == 256
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert pages_to_sim_gb(sim_gb_to_pages(16)) == pytest.approx(16.0)
+
+    def test_paper_sizes(self):
+        # The paper's 16 GB local DRAM -> 4096 simulated pages.
+        assert sim_gb_to_pages(16) == 4096
+        # 267 GB footprint -> 68352 pages.
+        assert sim_gb_to_pages(267) == 267 * 256
+
+    def test_fractional_gb(self):
+        assert sim_gb_to_pages(0.5) == 128
+
+    def test_bytes_conversions(self):
+        assert pages_to_bytes(2) == 8192
+        assert bytes_to_pages(8192) == 2
+        assert bytes_to_pages(8193) == 3  # ceiling
+        assert bytes_to_pages(1) == 1

@@ -1,0 +1,160 @@
+"""Tests for the CacheLib workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.machine import Machine, MachineConfig
+from repro.workloads.cachelib import (
+    CacheLibProfile,
+    CacheLibWorkload,
+    CDN_PROFILE,
+    Phase,
+    SOCIAL_PROFILE,
+)
+
+
+def machine_for(workload) -> Machine:
+    m = Machine(
+        MachineConfig(
+            local_capacity_pages=max(64, workload.footprint_pages // 16),
+            cxl_capacity_pages=workload.footprint_pages * 2,
+        )
+    )
+    workload.setup(m)
+    return m
+
+
+class TestProfiles:
+    def test_cdn_items_bigger_than_social(self):
+        assert CDN_PROFILE.mean_item_pages > SOCIAL_PROFILE.mean_item_pages
+
+    def test_social_more_skewed(self):
+        assert SOCIAL_PROFILE.zipf_alpha > CDN_PROFILE.zipf_alpha
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CacheLibProfile(
+                name="bad",
+                zipf_alpha=1.0,
+                size_pages=(1, 2),
+                size_probs=(0.5, 0.4),  # doesn't sum to 1
+                get_fraction=0.9,
+                read_pages_cap=1,
+                cpu_ns_per_op=10.0,
+            )
+        with pytest.raises(ValueError):
+            CacheLibProfile(
+                name="bad",
+                zipf_alpha=1.0,
+                size_pages=(1,),
+                size_probs=(1.0,),
+                get_fraction=0.0,
+                read_pages_cap=1,
+                cpu_ns_per_op=10.0,
+            )
+
+
+class TestLayout:
+    def test_items_fill_slab(self):
+        w = CacheLibWorkload(CDN_PROFILE, slab_pages=4096, seed=0)
+        assert w.num_items > 0
+        assert w._used_slab_pages <= 4096
+        # Items tile the slab contiguously.
+        ends = w._item_start + w._item_pages
+        assert np.array_equal(w._item_start[1:], ends[:-1])
+
+    def test_footprint_includes_index(self):
+        w = CacheLibWorkload(CDN_PROFILE, slab_pages=4096, seed=0)
+        assert w.footprint_pages > w._used_slab_pages
+
+    def test_too_small_slab_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLibWorkload(CDN_PROFILE, slab_pages=10, seed=0)
+
+    def test_setup_allocates_all_regions(self):
+        w = CacheLibWorkload(SOCIAL_PROFILE, slab_pages=2048, seed=1)
+        m = machine_for(w)
+        assert m.address_space.total_pages == w.footprint_pages
+
+
+class TestBatches:
+    def test_batch_structure(self):
+        w = CacheLibWorkload(CDN_PROFILE, slab_pages=4096, ops_per_batch=500, seed=2)
+        machine_for(w)
+        batch = next(iter(w.batches()))
+        assert batch.num_ops == 500
+        # Every op touches >= 1 index page + >= 1 item page.
+        assert batch.num_accesses >= 1000
+        assert batch.cpu_ns == 500 * CDN_PROFILE.cpu_ns_per_op
+        assert batch.bytes_per_access == CDN_PROFILE.bytes_per_access
+
+    def test_accesses_within_mapped_pages(self):
+        w = CacheLibWorkload(CDN_PROFILE, slab_pages=2048, ops_per_batch=300, seed=3)
+        machine_for(w)
+        batch = next(iter(w.batches()))
+        assert batch.page_ids.min() >= 0
+        assert batch.page_ids.max() < w.footprint_pages
+
+    def test_deterministic_given_seed(self):
+        def first_batch(seed):
+            w = CacheLibWorkload(
+                CDN_PROFILE, slab_pages=2048, ops_per_batch=200, seed=seed
+            )
+            machine_for(w)
+            return next(iter(w.batches())).page_ids
+
+        assert np.array_equal(first_batch(7), first_batch(7))
+        assert not np.array_equal(first_batch(7), first_batch(8))
+
+    def test_access_skew_present(self):
+        w = CacheLibWorkload(SOCIAL_PROFILE, slab_pages=4096, ops_per_batch=5000, seed=4)
+        machine_for(w)
+        batch = next(iter(w.batches()))
+        counts = np.bincount(batch.page_ids, minlength=w.footprint_pages)
+        top_pages = np.sort(counts)[::-1]
+        top_5pct = top_pages[: len(top_pages) // 20].sum()
+        assert top_5pct / counts.sum() > 0.5
+
+
+class TestPhases:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(0.5, 0.5)
+        with pytest.raises(ValueError):
+            Phase(-0.1, 0.5)
+
+    def test_phase_shift_changes_item_range(self):
+        """The Fig. 11 setup: accesses move to the other half of items."""
+        plan = (Phase(0.0, 0.5, num_batches=3), Phase(0.5, 1.0, None))
+        w = CacheLibWorkload(
+            SOCIAL_PROFILE,
+            slab_pages=4096,
+            ops_per_batch=2000,
+            phase_plan=plan,
+            seed=5,
+        )
+        machine_for(w)
+        gen = iter(w.batches())
+        batches = [next(gen) for __ in range(6)]
+        assert batches[0].label == "phase0"
+        assert batches[3].label == "phase1"
+        slab_lo = w._slab_start
+        half_boundary = w._item_start[w.num_items // 2] + slab_lo
+        p0_items = batches[0].page_ids[batches[0].page_ids >= slab_lo]
+        p1_items = batches[4].page_ids[batches[4].page_ids >= slab_lo]
+        # Phase 0 stays below the halfway item; phase 1 above.
+        assert (p0_items < half_boundary).mean() > 0.99
+        assert (p1_items >= half_boundary).mean() > 0.99
+
+    def test_endless_single_phase(self):
+        w = CacheLibWorkload(CDN_PROFILE, slab_pages=2048, ops_per_batch=100, seed=6)
+        machine_for(w)
+        gen = iter(w.batches())
+        for __ in range(5):
+            assert next(gen).label == "phase0"
+
+    def test_describe(self):
+        w = CacheLibWorkload(CDN_PROFILE, slab_pages=2048, seed=0)
+        d = w.describe()
+        assert d["profile"] == "cachelib-cdn"
+        assert d["num_items"] == w.num_items

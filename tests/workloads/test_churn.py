@@ -1,0 +1,89 @@
+"""Tests for continuous key churn (paper Section VII-D)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.machine import Machine, MachineConfig
+from repro.workloads.cachelib import CacheLibWorkload, SOCIAL_PROFILE
+from repro.workloads.zipfian import ZipfianSampler
+
+
+class TestReassignRanks:
+    def test_swaps_change_mapping(self):
+        z = ZipfianSampler(1000, 1.2, seed=1)
+        before = z.top_items(50).copy()
+        z.reassign_ranks(500)
+        after = z.top_items(50)
+        assert not np.array_equal(before, after)
+
+    def test_mapping_stays_a_permutation(self):
+        z = ZipfianSampler(500, 1.0, seed=2)
+        z.reassign_ranks(2_000)
+        assert len(np.unique(z._rank_to_item)) == 500
+
+    def test_distribution_shape_unchanged(self):
+        z = ZipfianSampler(1000, 1.2, seed=3)
+        mass_before = z.mass_of_top_fraction(0.1)
+        z.reassign_ranks(5_000)
+        assert z.mass_of_top_fraction(0.1) == pytest.approx(mass_before)
+
+    def test_zero_swaps_noop(self):
+        z = ZipfianSampler(100, 1.0, seed=4)
+        before = z.top_items(10).copy()
+        assert z.reassign_ranks(0) == 0
+        assert np.array_equal(z.top_items(10), before)
+
+
+class TestChurnyWorkload:
+    def make_workload(self, churn: int) -> CacheLibWorkload:
+        w = CacheLibWorkload(
+            SOCIAL_PROFILE,
+            slab_pages=4096,
+            ops_per_batch=3_000,
+            churn_swaps_per_batch=churn,
+            seed=5,
+        )
+        m = Machine(
+            MachineConfig(
+                local_capacity_pages=256, cxl_capacity_pages=w.footprint_pages * 2
+            )
+        )
+        w.setup(m)
+        return w
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheLibWorkload(
+                SOCIAL_PROFILE, slab_pages=4096, churn_swaps_per_batch=-1
+            )
+
+    def test_hot_pages_rotate_under_churn(self):
+        """With churn on, early and late hot sets diverge."""
+        w = self.make_workload(churn=200)
+        gen = iter(w.batches())
+        early = np.concatenate([next(gen).page_ids for __ in range(3)])
+        for __ in range(40):
+            next(gen)
+        late = np.concatenate([next(gen).page_ids for __ in range(3)])
+
+        def top_pages(accesses):
+            counts = np.bincount(accesses, minlength=w.footprint_pages)
+            return set(np.argsort(counts)[-100:].tolist())
+
+        overlap = len(top_pages(early) & top_pages(late)) / 100
+        assert overlap < 0.8
+
+    def test_no_churn_hot_set_stable(self):
+        w = self.make_workload(churn=0)
+        gen = iter(w.batches())
+        early = np.concatenate([next(gen).page_ids for __ in range(3)])
+        for __ in range(40):
+            next(gen)
+        late = np.concatenate([next(gen).page_ids for __ in range(3)])
+
+        def top_pages(accesses):
+            counts = np.bincount(accesses, minlength=w.footprint_pages)
+            return set(np.argsort(counts)[-100:].tolist())
+
+        overlap = len(top_pages(early) & top_pages(late)) / 100
+        assert overlap > 0.6

@@ -1,0 +1,79 @@
+"""Tests for the Kronecker/R-MAT graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.kronecker import CSRGraph, generate_kronecker
+
+
+class TestGeneration:
+    def test_node_and_edge_counts(self):
+        g = generate_kronecker(scale=10, avg_degree=4, seed=0)
+        assert g.num_nodes == 1024
+        # Symmetrized: 2 * n * degree directed entries.
+        assert g.num_directed_edges == 2 * 1024 * 4
+
+    def test_csr_well_formed(self):
+        g = generate_kronecker(scale=8, avg_degree=4, seed=1)
+        assert len(g.indptr) == g.num_nodes + 1
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.num_directed_edges
+        assert np.all(np.diff(g.indptr) >= 0)
+        assert g.indices.min() >= 0
+        assert g.indices.max() < g.num_nodes
+
+    def test_deterministic(self):
+        a = generate_kronecker(scale=8, seed=3)
+        b = generate_kronecker(scale=8, seed=3)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = generate_kronecker(scale=8, seed=3)
+        b = generate_kronecker(scale=8, seed=4)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_symmetry(self):
+        """Every edge appears in both directions (same multiplicity)."""
+        g = generate_kronecker(scale=6, avg_degree=3, seed=5)
+        src = np.repeat(np.arange(g.num_nodes), np.diff(g.indptr))
+        fwd = sorted(zip(src.tolist(), g.indices.tolist()))
+        rev = sorted(zip(g.indices.tolist(), src.tolist()))
+        assert fwd == rev
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_kronecker(scale=0)
+        with pytest.raises(ValueError):
+            generate_kronecker(scale=31)
+        with pytest.raises(ValueError):
+            generate_kronecker(scale=5, avg_degree=0)
+
+
+class TestPowerLaw:
+    def test_degree_skew(self):
+        """R-MAT with GAP parameters produces hubs (paper Section II-B)."""
+        g = generate_kronecker(scale=14, avg_degree=4, seed=0)
+        degrees = np.sort(g.degrees())[::-1]
+        total = degrees.sum()
+        top_1pct = degrees[: g.num_nodes // 100].sum()
+        assert top_1pct / total > 0.2  # hubs dominate
+
+    def test_isolated_nodes_exist(self):
+        # Kronecker graphs famously leave many nodes isolated.
+        g = generate_kronecker(scale=14, avg_degree=4, seed=0)
+        assert np.sum(g.degrees() == 0) > 0
+
+
+class TestCSRGraphHelpers:
+    def test_neighbors(self):
+        indptr = np.array([0, 2, 3, 3])
+        indices = np.array([1, 2, 0], dtype=np.int32)
+        g = CSRGraph(indptr=indptr, indices=indices, num_nodes=3)
+        assert np.array_equal(g.neighbors(0), [1, 2])
+        assert g.degree(1) == 1
+        assert g.degree(2) == 0
+
+    def test_nbytes(self):
+        g = generate_kronecker(scale=8, seed=0)
+        assert g.nbytes == g.indptr.nbytes + g.indices.nbytes

@@ -1,0 +1,38 @@
+"""Tests for the Workload base protocol."""
+
+import pytest
+
+from repro.workloads.spec import Workload
+
+
+class _Stub(Workload):
+    name = "stub"
+
+    @property
+    def footprint_pages(self) -> int:
+        return 7
+
+    def setup(self, machine) -> None:
+        self._machine = machine
+
+    def batches(self):
+        return iter(())
+
+
+class TestWorkloadBase:
+    def test_machine_requires_setup(self):
+        w = _Stub()
+        with pytest.raises(RuntimeError):
+            w.machine
+
+    def test_machine_after_setup(self, tiny_machine):
+        w = _Stub()
+        w.setup(tiny_machine)
+        assert w.machine is tiny_machine
+
+    def test_describe_default(self):
+        d = _Stub().describe()
+        assert d == {"name": "stub", "footprint_pages": 7}
+
+    def test_seed_stored(self):
+        assert _Stub(seed=42).seed == 42

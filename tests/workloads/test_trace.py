@@ -1,0 +1,70 @@
+"""Tests for trace utilities and the synthetic Zipf workload."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.machine import Machine, MachineConfig
+from repro.workloads.trace import RecordedTrace, SyntheticZipfWorkload
+
+
+def build_machine(pages: int) -> Machine:
+    return Machine(
+        MachineConfig(
+            local_capacity_pages=max(32, pages // 8),
+            cxl_capacity_pages=pages * 2,
+        )
+    )
+
+
+class TestSyntheticZipf:
+    def test_batches(self):
+        w = SyntheticZipfWorkload(num_pages=1000, accesses_per_batch=500, seed=0)
+        m = build_machine(1000)
+        w.setup(m)
+        batch = next(iter(w.batches()))
+        assert batch.num_accesses == 500
+        assert batch.page_ids.max() < 1000
+
+    def test_hottest_pages_oracle(self):
+        w = SyntheticZipfWorkload(num_pages=1000, alpha=1.5, seed=1)
+        m = build_machine(1000)
+        w.setup(m)
+        hot = set(w.hottest_pages(50).tolist())
+        batch = next(iter(w.batches()))
+        hit = np.fromiter((p in hot for p in batch.page_ids), dtype=bool)
+        assert hit.mean() > 0.4  # top-5% pages dominate at alpha=1.5
+
+    def test_use_before_setup_raises(self):
+        w = SyntheticZipfWorkload(num_pages=100)
+        with pytest.raises(RuntimeError):
+            w.machine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticZipfWorkload(num_pages=0)
+
+
+class TestRecordedTrace:
+    def test_replay_identical(self):
+        inner = SyntheticZipfWorkload(num_pages=500, accesses_per_batch=100, seed=2)
+        rec = RecordedTrace(inner, max_batches=5)
+        m = build_machine(500)
+        rec.setup(m)
+        first = [b.page_ids.copy() for b in rec.batches()]
+        second = [b.page_ids.copy() for b in rec.batches()]
+        assert len(first) == 5
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_batches_before_setup_raises(self):
+        rec = RecordedTrace(SyntheticZipfWorkload(num_pages=100), max_batches=2)
+        with pytest.raises(RuntimeError):
+            next(iter(rec.batches()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecordedTrace(SyntheticZipfWorkload(num_pages=100), max_batches=0)
+
+    def test_footprint_delegates(self):
+        inner = SyntheticZipfWorkload(num_pages=123)
+        assert RecordedTrace(inner, max_batches=1).footprint_pages == 123

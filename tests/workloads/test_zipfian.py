@@ -1,0 +1,110 @@
+"""Tests for the Zipfian sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.zipfian import ZipfianSampler
+
+
+class TestBasics:
+    def test_sample_range(self):
+        z = ZipfianSampler(100, 1.0, seed=0)
+        out = z.sample(10_000)
+        assert out.min() >= 0
+        assert out.max() < 100
+
+    def test_deterministic(self):
+        a = ZipfianSampler(100, 1.0, seed=5).sample(1000)
+        b = ZipfianSampler(100, 1.0, seed=5).sample(1000)
+        assert np.array_equal(a, b)
+
+    def test_zero_size(self):
+        z = ZipfianSampler(10, 1.0)
+        assert z.sample(0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfianSampler(10, -0.5)
+        with pytest.raises(ValueError):
+            ZipfianSampler(10, 1.0).sample(-1)
+
+
+class TestDistribution:
+    def test_rank_frequencies_decay(self):
+        z = ZipfianSampler(1000, 1.2, seed=1)
+        ranks = z.sample_ranks(100_000)
+        counts = np.bincount(ranks, minlength=1000)
+        # Rank 0 much hotter than rank 100.
+        assert counts[0] > counts[100] * 10
+
+    def test_alpha_zero_is_uniform(self):
+        z = ZipfianSampler(50, 0.0, seed=2)
+        ranks = z.sample_ranks(100_000)
+        counts = np.bincount(ranks, minlength=50)
+        assert counts.min() > counts.max() * 0.8
+
+    def test_paper_reference_point(self):
+        """Paper Section II-B: Zipf(0.9) -> top 10% ~ 80% of accesses."""
+        z = ZipfianSampler(100_000, 0.9)
+        mass = z.mass_of_top_fraction(0.10)
+        assert 0.55 < mass < 0.85
+
+    def test_higher_alpha_more_skew(self):
+        masses = [
+            ZipfianSampler(10_000, a).mass_of_top_fraction(0.05)
+            for a in (0.5, 1.0, 1.5)
+        ]
+        assert masses[0] < masses[1] < masses[2]
+
+    def test_empirical_matches_cdf(self):
+        z = ZipfianSampler(500, 1.1, seed=3)
+        samples = z.sample(200_000)
+        top = set(z.top_items(25).tolist())
+        hits = np.fromiter((s in top for s in samples[:20_000]), dtype=bool)
+        assert hits.mean() == pytest.approx(z.mass_of_top_fraction(0.05), abs=0.05)
+
+
+class TestPermutation:
+    def test_permuted_hot_items_scattered(self):
+        z = ZipfianSampler(10_000, 1.3, seed=4, permute=True)
+        hot = z.top_items(100)
+        # Hot items should not be clustered at low ids.
+        assert hot.max() > 5_000
+
+    def test_unpermuted_rank_equals_item(self):
+        z = ZipfianSampler(100, 1.0, permute=False)
+        assert z.item_of_rank(0) == 0
+        assert np.array_equal(z.top_items(3), [0, 1, 2])
+
+    def test_mass_fraction_validation(self):
+        z = ZipfianSampler(10, 1.0)
+        with pytest.raises(ValueError):
+            z.mass_of_top_fraction(1.5)
+        assert z.mass_of_top_fraction(0.0) == 0.0
+        assert z.mass_of_top_fraction(1.0) == pytest.approx(1.0)
+
+
+@given(
+    n=st.integers(2, 2_000),
+    alpha=st.floats(0.0, 2.5),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_samples_in_range(n, alpha, seed):
+    z = ZipfianSampler(n, alpha, seed=seed)
+    out = z.sample(500)
+    assert out.min() >= 0
+    assert out.max() < n
+
+
+@given(n=st.integers(2, 500), alpha=st.floats(0.1, 2.0))
+@settings(max_examples=40, deadline=None)
+def test_property_cdf_monotone(n, alpha):
+    z = ZipfianSampler(n, alpha)
+    fractions = [0.1, 0.3, 0.6, 1.0]
+    masses = [z.mass_of_top_fraction(f) for f in fractions]
+    assert all(a <= b + 1e-12 for a, b in zip(masses, masses[1:]))
