@@ -16,21 +16,10 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro import (
-    AutoNUMA,
-    CacheLibWorkload,
-    CDN_PROFILE,
-    ExperimentConfig,
-    FreqTier,
-    GapWorkload,
-    HeMem,
-    SOCIAL_PROFILE,
-    TPP,
-    XGBoostWorkload,
-    compare_policies,
-)
+from repro import ExperimentConfig, PolicySpec, WorkloadSpec
 from repro.analysis.tables import format_rows
 from repro.core.metrics import ExperimentResult
+from repro.core.parallel import CellSpec, ParallelExecutor, executor_from_env
 from repro.memsim.tier import TieredMemoryConfig, CXL1_CONFIG
 
 #: Bench-scale CacheLib slab: 64 sim-GB of items (the paper's 256 GB
@@ -56,17 +45,18 @@ POLICY_NAMES = ("FreqTier", "AutoNUMA", "TPP", "HeMem")
 
 
 def standard_policies(seed: int = 0) -> dict[str, Callable]:
+    """The paper line-up as picklable, cache-addressable specs."""
     return {
-        "FreqTier": lambda: FreqTier(seed=seed),
-        "AutoNUMA": lambda: AutoNUMA(seed=seed),
-        "TPP": lambda: TPP(seed=seed),
-        "HeMem": lambda: HeMem(seed=seed),
+        "FreqTier": PolicySpec("freqtier", seed=seed),
+        "AutoNUMA": PolicySpec("autonuma", seed=seed),
+        "TPP": PolicySpec("tpp", seed=seed),
+        "HeMem": PolicySpec("hemem", seed=seed),
     }
 
 
 def cdn_workload(seed: int = 1) -> Callable:
-    return lambda: CacheLibWorkload(
-        CDN_PROFILE,
+    return WorkloadSpec(
+        "cdn",
         slab_pages=CACHELIB_SLAB_PAGES,
         ops_per_batch=CACHELIB_OPS_PER_BATCH,
         seed=seed,
@@ -74,8 +64,8 @@ def cdn_workload(seed: int = 1) -> Callable:
 
 
 def social_workload(seed: int = 1) -> Callable:
-    return lambda: CacheLibWorkload(
-        SOCIAL_PROFILE,
+    return WorkloadSpec(
+        "social",
         slab_pages=CACHELIB_SLAB_PAGES,
         ops_per_batch=CACHELIB_OPS_PER_BATCH,
         seed=seed,
@@ -83,13 +73,13 @@ def social_workload(seed: int = 1) -> Callable:
 
 
 def gap_workload(kernel: str, seed: int = 2) -> Callable:
-    return lambda: GapWorkload(
-        kernel, scale=GAP_SCALE, num_trials=GAP_TRIALS, seed=seed
+    return WorkloadSpec(
+        "gap", kernel=kernel, scale=GAP_SCALE, num_trials=GAP_TRIALS, seed=seed
     )
 
 
 def xgb_workload(seed: int = 3) -> Callable:
-    return lambda: XGBoostWorkload(num_rounds=XGB_ROUNDS, seed=seed)
+    return WorkloadSpec("xgboost", num_rounds=XGB_ROUNDS, seed=seed)
 
 
 def run_grid(
@@ -98,12 +88,22 @@ def run_grid(
     memory: TieredMemoryConfig = CXL1_CONFIG,
     max_batches: int | None = CACHELIB_BATCHES,
     seed: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, dict[str, ExperimentResult]]:
     """Run the standard policy line-up at every capacity ratio.
 
     Returns ``{ratio_label: {policy: result}}`` (incl. ``AllLocal``).
+
+    All ratios x policies are submitted as one batch of cells, so an
+    executor with ``jobs>1`` parallelizes the whole grid at once.  The
+    default executor honours ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+    (serial, uncached when unset), so the benchmark suite can be
+    parallelized/cached without touching any benchmark file.
     """
-    grid: dict[str, dict[str, ExperimentResult]] = {}
+    if executor is None:
+        executor = executor_from_env()
+    cells: list[CellSpec] = []
+    keys: list[tuple[str, str]] = []
     for label, frac in ratios:
         config = ExperimentConfig(
             local_fraction=frac,
@@ -112,9 +112,16 @@ def run_grid(
             max_batches=max_batches,
             seed=seed,
         )
-        grid[label] = compare_policies(
-            workload_factory, standard_policies(seed=seed), config
-        )
+        for name, factory in (
+            [("AllLocal", None)] + list(standard_policies(seed=seed).items())
+        ):
+            cells.append(
+                CellSpec(workload_factory, factory, config, label=name)
+            )
+            keys.append((label, name))
+    grid: dict[str, dict[str, ExperimentResult]] = {}
+    for (label, name), result in zip(keys, executor.run(cells)):
+        grid.setdefault(label, {})[name] = result
     return grid
 
 

@@ -42,11 +42,17 @@ from repro.cbf import (
     SampleCoalescer,
 )
 from repro.core import (
+    CellSpec,
     ExperimentConfig,
     ExperimentResult,
+    ParallelExecutor,
+    PolicySpec,
+    ResultCache,
     SimulationEngine,
+    WorkloadSpec,
     compare_policies,
     run_all_local,
+    run_cells,
     run_experiment,
     sweep,
 )
@@ -88,6 +94,7 @@ __all__ = [
     "BlockedCountingBloomFilter",
     "CacheLibWorkload",
     "CDN_PROFILE",
+    "CellSpec",
     "CountingBloomFilter",
     "CXL1_CONFIG",
     "CXL2_CONFIG",
@@ -108,6 +115,9 @@ __all__ = [
     "MultiClock",
     "PAGE_SIZE",
     "PAGES_PER_SIM_GB",
+    "ParallelExecutor",
+    "PolicySpec",
+    "ResultCache",
     "SampleCoalescer",
     "SCALE_FACTOR",
     "SimulationEngine",
@@ -117,11 +127,13 @@ __all__ = [
     "TieredMemoryConfig",
     "TierSpec",
     "TPP",
+    "WorkloadSpec",
     "XGBoostWorkload",
     "ZipfianSampler",
     "compare_policies",
     "pages_to_sim_gb",
     "run_all_local",
+    "run_cells",
     "run_experiment",
     "sim_gb_to_pages",
     "sweep",

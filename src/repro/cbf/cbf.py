@@ -109,7 +109,9 @@ class CountingBloomFilter:
         scalar = np.isscalar(keys)
         arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         idx = self._indices(arr)
-        values = self._counters.get(idx).min(axis=1)
+        # Hash outputs are already reduced into [0, num_counters), so
+        # the packed array's bounds scan is skipped on this hot path.
+        values = self._counters.get(idx, check=False).min(axis=1)
         self.stats.gets += len(arr)
         self.stats.slot_accesses += idx.size
         return int(values[0]) if scalar else values
@@ -146,8 +148,8 @@ class CountingBloomFilter:
         totals = np.zeros(len(uniq), dtype=np.int64)
         np.add.at(totals, inverse, amt)
 
-        idx = self._indices(uniq)  # (u, k)
-        current = self._counters.get(idx)  # (u, k)
+        idx = self._indices(uniq)  # (u, k); in-range by construction
+        current = self._counters.get(idx, check=False)  # (u, k)
         mins = current.min(axis=1, keepdims=True)
         target = np.minimum(mins + totals[:, None], self.max_count)
         # Conservative update: only counters below the new target rise
@@ -159,7 +161,7 @@ class CountingBloomFilter:
             # Multiple keys may share a slot within this batch; keep the
             # maximum target per slot (never undercount).
             order = np.argsort(flat_target, kind="stable")
-            self._counters.set(flat_idx[order], flat_target[order])
+            self._counters.set(flat_idx[order], flat_target[order], check=False)
 
         self.stats.increments += int(amt.sum())
         self.stats.slot_accesses += idx.size * 2  # read + write pass
@@ -171,10 +173,11 @@ class CountingBloomFilter:
         ):
             self.age()
 
-        result = np.minimum(
-            self._counters.get(self._indices(arr)).min(axis=1), self.max_count
-        )
-        return result
+        # Frequency readback: the slot indices of ``arr`` are exactly
+        # ``idx`` rows mapped back through ``inverse``, so reuse them
+        # instead of re-hashing the full key array.
+        per_uniq = self._counters.get(idx, check=False).min(axis=1)
+        return np.minimum(per_uniq, self.max_count)[inverse].reshape(arr.shape)
 
     def age(self) -> None:
         """Halve all counters (keeps frequencies fresh, paper Section V-A)."""

@@ -50,10 +50,16 @@ class PackedCounterArray:
 
     # -- element access -----------------------------------------------
 
-    def get(self, indices: np.ndarray) -> np.ndarray:
-        """Gather counter values at ``indices`` (any shape)."""
+    def get(self, indices: np.ndarray, *, check: bool = True) -> np.ndarray:
+        """Gather counter values at ``indices`` (any shape).
+
+        ``check=False`` skips bounds validation -- for callers that
+        just produced the indices in-range (e.g. hash outputs already
+        reduced modulo the array size), saving a scan per call.
+        """
         idx = np.asarray(indices, dtype=np.int64)
-        self._check_bounds(idx)
+        if check:
+            self._check_bounds(idx)
         if self.bits in (8, 16):
             return self._store[idx].astype(np.int64)
         byte_idx = idx // self._per_byte
@@ -61,13 +67,17 @@ class PackedCounterArray:
         mask = np.uint8(self.max_value)
         return ((self._store[byte_idx] >> shift) & mask).astype(np.int64)
 
-    def set(self, indices: np.ndarray, values: np.ndarray) -> None:
+    def set(
+        self, indices: np.ndarray, values: np.ndarray, *, check: bool = True
+    ) -> None:
         """Scatter ``values`` (clamped to the counter range) at ``indices``.
 
         If an index repeats, the last write wins (numpy scatter order).
+        ``check=False`` skips bounds validation (see :meth:`get`).
         """
         idx = np.asarray(indices, dtype=np.int64).ravel()
-        self._check_bounds(idx)
+        if check:
+            self._check_bounds(idx)
         vals = np.clip(np.asarray(values, dtype=np.int64).ravel(), 0, self.max_value)
         if self.bits == 8:
             self._store[idx] = vals.astype(np.uint8)
@@ -104,11 +114,13 @@ class PackedCounterArray:
         if amt.shape != idx.shape:
             amt = np.broadcast_to(amt, idx.shape)
         # Accumulate duplicates first so saturation applies to the total.
+        # ``uniq`` is a subset of the just-validated ``idx``, so the
+        # get/set below can skip re-scanning the bounds.
         uniq, inverse = np.unique(idx, return_inverse=True)
         totals = np.zeros(len(uniq), dtype=np.int64)
         np.add.at(totals, inverse, amt)
-        current = self.get(uniq)
-        self.set(uniq, np.minimum(current + totals, self.max_value))
+        current = self.get(uniq, check=False)
+        self.set(uniq, np.minimum(current + totals, self.max_value), check=False)
 
     def halve_all(self) -> None:
         """Divide every counter by two (the paper's aging step)."""
@@ -130,13 +142,14 @@ class PackedCounterArray:
 
     def to_array(self) -> np.ndarray:
         """Unpacked copy of all counters as int64 (for tests/analysis)."""
-        return self.get(np.arange(self.size, dtype=np.int64))
+        return self.get(np.arange(self.size, dtype=np.int64), check=False)
 
     def fill(self, value: int) -> None:
         """Set every counter to ``value`` (clamped)."""
         self.set(
             np.arange(self.size, dtype=np.int64),
             np.full(self.size, value, dtype=np.int64),
+            check=False,
         )
 
     # -- internal -------------------------------------------------------
@@ -144,8 +157,11 @@ class PackedCounterArray:
     def _check_bounds(self, idx: np.ndarray) -> None:
         if idx.size == 0:
             return
-        lo, hi = int(idx.min()), int(idx.max())
-        if lo < 0 or hi >= self.size:
+        # Single-pass check: negative int64 indices become huge when
+        # viewed as uint64, so one unsigned comparison catches both
+        # ends (vs. separate min() and max() scans).
+        if np.any(idx.view(np.uint64) >= np.uint64(self.size)):
+            lo, hi = int(idx.min()), int(idx.max())
             raise IndexError(
                 f"counter index out of range [0, {self.size}): min={lo} max={hi}"
             )

@@ -24,57 +24,60 @@ from collections.abc import Callable
 from repro.analysis.tables import format_comparison_table, format_rows
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import ExperimentResult
+from repro.core.parallel import (
+    CellSpec,
+    ParallelExecutor,
+    PolicySpec,
+    WorkloadSpec,
+)
 from repro.core.runner import compare_policies, run_all_local, run_experiment
 from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
-from repro.policies import (
-    AutoNUMA,
-    DAMONRegion,
-    FreqTier,
-    HeMem,
-    MultiClock,
-    StaticNoMigration,
-    TPP,
-)
-from repro.workloads import (
-    CacheLibWorkload,
-    CDN_PROFILE,
-    GapWorkload,
-    SOCIAL_PROFILE,
-    SyntheticZipfWorkload,
-    XGBoostWorkload,
-)
 
 
 def _workload_registry(seed: int) -> dict[str, Callable]:
+    """Spec-based factories: picklable (``--jobs``) and cacheable."""
     return {
-        "cdn": lambda: CacheLibWorkload(
-            CDN_PROFILE, slab_pages=16_384, ops_per_batch=10_000, seed=seed
+        "cdn": WorkloadSpec(
+            "cdn", slab_pages=16_384, ops_per_batch=10_000, seed=seed
         ),
-        "social": lambda: CacheLibWorkload(
-            SOCIAL_PROFILE, slab_pages=16_384, ops_per_batch=10_000, seed=seed
+        "social": WorkloadSpec(
+            "social", slab_pages=16_384, ops_per_batch=10_000, seed=seed
         ),
-        "gap-bfs": lambda: GapWorkload("bfs", scale=18, num_trials=6, seed=seed),
-        "gap-cc": lambda: GapWorkload("cc", scale=18, num_trials=6, seed=seed),
-        "gap-bc": lambda: GapWorkload("bc", scale=18, num_trials=6, seed=seed),
-        "gap-pr": lambda: GapWorkload("pr", scale=18, num_trials=4, seed=seed),
-        "xgboost": lambda: XGBoostWorkload(num_rounds=80, seed=seed),
-        "zipf": lambda: SyntheticZipfWorkload(
-            num_pages=16_384, alpha=1.2, seed=seed
+        "gap-bfs": WorkloadSpec(
+            "gap", kernel="bfs", scale=18, num_trials=6, seed=seed
         ),
+        "gap-cc": WorkloadSpec(
+            "gap", kernel="cc", scale=18, num_trials=6, seed=seed
+        ),
+        "gap-bc": WorkloadSpec(
+            "gap", kernel="bc", scale=18, num_trials=6, seed=seed
+        ),
+        "gap-pr": WorkloadSpec(
+            "gap", kernel="pr", scale=18, num_trials=4, seed=seed
+        ),
+        "xgboost": WorkloadSpec("xgboost", num_rounds=80, seed=seed),
+        "zipf": WorkloadSpec("zipf", num_pages=16_384, alpha=1.2, seed=seed),
     }
 
 
 def _policy_registry(seed: int) -> dict[str, Callable]:
     return {
-        "freqtier": lambda: FreqTier(seed=seed),
-        "hybridtier": lambda: FreqTier(seed=seed),
-        "autonuma": lambda: AutoNUMA(seed=seed),
-        "tpp": lambda: TPP(seed=seed),
-        "hemem": lambda: HeMem(seed=seed),
-        "multiclock": lambda: MultiClock(seed=seed),
-        "damon": lambda: DAMONRegion(seed=seed),
-        "static": lambda: StaticNoMigration(),
+        "freqtier": PolicySpec("freqtier", seed=seed),
+        "hybridtier": PolicySpec("hybridtier", seed=seed),
+        "autonuma": PolicySpec("autonuma", seed=seed),
+        "tpp": PolicySpec("tpp", seed=seed),
+        "hemem": PolicySpec("hemem", seed=seed),
+        "multiclock": PolicySpec("multiclock", seed=seed),
+        "damon": PolicySpec("damon", seed=seed),
+        "static": PolicySpec("static"),
     }
+
+
+def _executor_from_args(args: argparse.Namespace) -> ParallelExecutor:
+    return ParallelExecutor(
+        jobs=getattr(args, "jobs", 1),
+        cache=getattr(args, "cache_dir", None),
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -109,6 +112,28 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batches", type=int, default=300)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true")
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_nonneg_int,
+        default=1,
+        help="worker processes: 1 = serial (default), 0 = all CPUs, N = pool of N",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (skips "
+        "already-computed cells; results are bit-identical)",
+    )
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -163,7 +188,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     policies = {name: _lookup(registry, name, "policy") for name in names}
     config = _config_from_args(args)
     config.max_batches = None if args.batches <= 0 else args.batches
-    results = compare_policies(workload, policies, config)
+    results = compare_policies(
+        workload, policies, config, executor=_executor_from_args(args)
+    )
     if args.report:
         from repro.analysis.report import markdown_report
 
@@ -241,8 +268,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
     policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
     fractions = [float(f) for f in args.fractions.split(",")]
-    rows = []
-    payload = {}
+    # Submit every (policy, all-local) pair across all fractions as one
+    # batch, so --jobs parallelizes the whole sweep and --cache-dir
+    # skips already-computed points.
+    executor = _executor_from_args(args)
+    cells = []
     for frac in fractions:
         config = ExperimentConfig(
             local_fraction=frac,
@@ -251,8 +281,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_batches=None if args.batches <= 0 else args.batches,
             seed=args.seed,
         )
-        result = run_experiment(workload, policy, config)
-        base = run_all_local(workload, config)
+        cells.append(CellSpec(workload, policy, config, label=str(frac)))
+        cells.append(CellSpec(workload, None, config, label=f"{frac}-base"))
+    cell_results = executor.run(cells)
+    rows = []
+    payload = {}
+    for i, frac in enumerate(fractions):
+        result, base = cell_results[2 * i], cell_results[2 * i + 1]
         rel = result.relative_to(base)["throughput"]
         rows.append(
             [
@@ -296,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare several policies")
     _add_common_args(p_cmp)
+    _add_exec_args(p_cmp)
     p_cmp.add_argument(
         "--policies",
         default=None,
@@ -308,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep local DRAM fractions")
     _add_common_args(p_sweep)
+    _add_exec_args(p_sweep)
     p_sweep.add_argument("--policy", required=True)
     p_sweep.add_argument(
         "--fractions",

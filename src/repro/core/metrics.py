@@ -198,6 +198,45 @@ class ExperimentResult:
             policy_stats=policy_stats or {},
         )
 
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable dict that round-trips via :meth:`from_dict`.
+
+        Timeline tuples become 2-element lists (JSON has no tuples);
+        everything else is already plain python scalars/dicts.
+        """
+        return {
+            "policy_name": self.policy_name,
+            "workload_name": self.workload_name,
+            "total_time_ns": self.total_time_ns,
+            "steady_p50_latency_ns": self.steady_p50_latency_ns,
+            "steady_throughput_ops_per_s": self.steady_throughput_ops_per_s,
+            "overall_hit_ratio": self.overall_hit_ratio,
+            "steady_hit_ratio": self.steady_hit_ratio,
+            "traffic_breakdown": dict(self.traffic_breakdown),
+            "migration_bytes": self.migration_bytes,
+            "pages_migrated": self.pages_migrated,
+            "total_ops": self.total_ops,
+            "total_accesses": self.total_accesses,
+            "hit_ratio_timeline": [list(p) for p in self.hit_ratio_timeline],
+            "latency_timeline": [list(p) for p in self.latency_timeline],
+            "time_per_label_ns": dict(self.time_per_label_ns),
+            "policy_stats": dict(self.policy_stats),
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (bit-identical for JSON round-trips)."""
+        fields = dict(data)
+        fields["hit_ratio_timeline"] = [
+            (float(t), float(v)) for t, v in fields.get("hit_ratio_timeline", [])
+        ]
+        fields["latency_timeline"] = [
+            (float(t), float(v)) for t, v in fields.get("latency_timeline", [])
+        ]
+        return ExperimentResult(**fields)
+
     # -- derived ----------------------------------------------------------------
 
     def mean_time_per_label_ns(self, skip_fraction: float = 0.25) -> float | None:

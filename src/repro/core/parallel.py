@@ -1,0 +1,390 @@
+"""Parallel experiment executor over picklable cell specs.
+
+Every reproduction grid is embarrassingly parallel: each (workload,
+policy, config) cell builds fresh, identically-seeded instances and
+shares no state with its neighbours, so cells can fan out across
+processes with **bit-identical** results to a serial run -- the only
+randomness is per-cell seeded RNGs, never a shared global stream.
+
+The unit of work is a :class:`CellSpec`.  For process pools the spec's
+factories must pickle, so instead of closures the preferred factories
+are :class:`WorkloadSpec` / :class:`PolicySpec`: tiny (name, params)
+records that rebuild the object through a registry inside the worker.
+Specs are also *content-addressable* -- their (name, params) dicts plus
+the :class:`~repro.core.config.ExperimentConfig` hash into a stable
+fingerprint -- which is what lets
+:class:`~repro.core.cache.ResultCache` skip already-computed cells.
+
+``jobs`` semantics (shared by the executor and the CLI flags):
+
+- ``jobs=1`` -- inline serial execution in this process (debuggable,
+  works with arbitrary closure factories);
+- ``jobs=0`` -- one worker per available CPU;
+- ``jobs=N`` -- a pool of N worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.cache import ResultCache, cell_fingerprint, config_to_dict
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import ExperimentResult
+
+# --------------------------------------------------------------------------
+# Factory registries
+# --------------------------------------------------------------------------
+
+_WORKLOAD_BUILDERS: dict[str, Callable[..., Any]] = {}
+_POLICY_BUILDERS: dict[str, Callable[..., Any]] = {}
+
+
+def register_workload(name: str, builder: Callable[..., Any]) -> None:
+    """Register a workload builder callable under ``name``.
+
+    ``builder(**params)`` must return a fresh
+    :class:`~repro.workloads.spec.Workload`.  Registration happens at
+    import time of this module for the built-ins; user registrations
+    must run in every worker process too (module top level), or be
+    limited to ``jobs=1``.
+    """
+    _WORKLOAD_BUILDERS[name] = builder
+
+
+def register_policy(name: str, builder: Callable[..., Any]) -> None:
+    """Register a policy builder callable under ``name``."""
+    _POLICY_BUILDERS[name] = builder
+
+
+def _build_freqtier(seed: int = 0, **config_fields: Any):
+    from repro.policies.freqtier import FreqTier, FreqTierConfig
+
+    config = FreqTierConfig(**config_fields) if config_fields else None
+    return FreqTier(config=config, seed=seed)
+
+
+def _register_builtins() -> None:
+    from repro.policies import (
+        AllLocal,
+        AutoNUMA,
+        DAMONRegion,
+        HeMem,
+        MultiClock,
+        StaticNoMigration,
+        TPP,
+    )
+    from repro.workloads import (
+        CacheLibWorkload,
+        CDN_PROFILE,
+        GapWorkload,
+        SOCIAL_PROFILE,
+        SyntheticZipfWorkload,
+        XGBoostWorkload,
+    )
+    from repro.workloads.traceio import TraceFileWorkload
+
+    register_workload(
+        "cdn", lambda **p: CacheLibWorkload(CDN_PROFILE, **p)
+    )
+    register_workload(
+        "social", lambda **p: CacheLibWorkload(SOCIAL_PROFILE, **p)
+    )
+    register_workload("gap", GapWorkload)
+    register_workload("xgboost", XGBoostWorkload)
+    register_workload("zipf", SyntheticZipfWorkload)
+    register_workload("trace", TraceFileWorkload)
+
+    register_policy("freqtier", _build_freqtier)
+    register_policy("hybridtier", _build_freqtier)
+    register_policy("autonuma", AutoNUMA)
+    register_policy("tpp", TPP)
+    register_policy("hemem", HeMem)
+    register_policy("multiclock", MultiClock)
+    register_policy("damon", DAMONRegion)
+    register_policy("static", lambda **p: StaticNoMigration())
+    register_policy("alllocal", lambda **p: AllLocal())
+
+
+_register_builtins()
+
+
+# --------------------------------------------------------------------------
+# Picklable, content-addressable factories
+# --------------------------------------------------------------------------
+
+
+class _RegistrySpec:
+    """(name, params) factory resolved through a builder registry.
+
+    Instances are zero-argument callables -- drop-in replacements for
+    the closure factories :func:`repro.core.runner.run_experiment`
+    historically took -- but unlike closures they pickle by value and
+    expose :meth:`spec_dict` for content addressing.
+    """
+
+    _registry: dict[str, Callable[..., Any]] = {}
+    _kind = "spec"
+
+    __slots__ = ("name", "params")
+
+    def __init__(self, name: str, **params: Any):
+        self.name = name
+        self.params = params
+
+    def __call__(self) -> Any:
+        try:
+            builder = self._registry[self.name]
+        except KeyError:
+            valid = ", ".join(sorted(self._registry))
+            raise KeyError(
+                f"unknown {self._kind} {self.name!r}; registered: {valid}"
+            ) from None
+        return builder(**self.params)
+
+    def spec_dict(self) -> dict[str, Any]:
+        """JSON-serializable identity for cache fingerprinting."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    def with_params(self, **overrides: Any) -> "_RegistrySpec":
+        """A copy with ``overrides`` merged into the params."""
+        merged = {**self.params, **overrides}
+        return type(self)(self.name, **merged)
+
+    # __slots__ classes need explicit pickle support.
+    def __getstate__(self):
+        return (self.name, self.params)
+
+    def __setstate__(self, state):
+        self.name, self.params = state
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.name == self.name  # type: ignore[attr-defined]
+            and other.params == self.params  # type: ignore[attr-defined]
+        )
+
+    def __repr__(self) -> str:
+        kv = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        sep = ", " if kv else ""
+        return f"{type(self).__name__}({self.name!r}{sep}{kv})"
+
+
+class WorkloadSpec(_RegistrySpec):
+    """Picklable workload factory: ``WorkloadSpec("cdn", slab_pages=...)()``."""
+
+    _registry = _WORKLOAD_BUILDERS
+    _kind = "workload"
+
+
+class PolicySpec(_RegistrySpec):
+    """Picklable policy factory: ``PolicySpec("freqtier", seed=1)()``."""
+
+    _registry = _POLICY_BUILDERS
+    _kind = "policy"
+
+
+# --------------------------------------------------------------------------
+# Cell specs
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CellSpec:
+    """One experiment cell, ready to run in any process.
+
+    ``policy=None`` marks the all-local baseline cell (run on an
+    all-DRAM machine via :func:`repro.core.runner.run_all_local`).
+    ``label`` is carried through for callers that key results by name.
+    """
+
+    workload: Callable[[], Any]
+    policy: Callable[[], Any] | None
+    config: ExperimentConfig
+    label: str = ""
+
+    def fingerprint(self) -> str | None:
+        """Content-address of this cell, or None if not addressable.
+
+        Only cells whose factories are :class:`WorkloadSpec` /
+        :class:`PolicySpec` (and whose params are JSON-serializable)
+        can be cached; closure factories return None and always run.
+        """
+        if not isinstance(self.workload, _RegistrySpec):
+            return None
+        if self.policy is None:
+            policy_part: Any = "all_local"
+        elif isinstance(self.policy, _RegistrySpec):
+            policy_part = self.policy.spec_dict()
+        else:
+            return None
+        try:
+            return cell_fingerprint(
+                {
+                    "workload": self.workload.spec_dict(),
+                    "policy": policy_part,
+                    "config": config_to_dict(self.config),
+                }
+            )
+        except (TypeError, ValueError):
+            return None
+
+
+def run_cell(spec: CellSpec) -> ExperimentResult:
+    """Execute one cell (the process-pool work function)."""
+    # Imported here, not at module top, so the registry imports above
+    # cannot cycle through repro.core.runner.
+    from repro.core.runner import run_all_local, run_experiment
+
+    if spec.policy is None:
+        return run_all_local(spec.workload, spec.config)
+    return run_experiment(spec.workload, spec.policy, spec.config)
+
+
+# --------------------------------------------------------------------------
+# The executor
+# --------------------------------------------------------------------------
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Map the ``--jobs`` convention onto a worker count (>= 1)."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs > 0:
+        return jobs
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ExecutorStats:
+    """Where each submitted cell's result came from."""
+
+    cache_hits: int = 0
+    executed: int = 0
+    cached_results: int = 0  # results newly written to the cache
+
+
+class ParallelExecutor:
+    """Fans experiment cells across a process pool, with result caching.
+
+    Parameters
+    ----------
+    jobs:
+        ``0`` = one worker per CPU, ``1`` = inline serial execution
+        (no pool, works with closure factories), ``N`` = pool of N.
+    cache:
+        A :class:`~repro.core.cache.ResultCache`, a directory path to
+        open one at, or None to disable caching.
+
+    Determinism: each cell builds fresh workload/policy instances from
+    its own seeds, so ``run()`` returns bit-identical results whatever
+    the worker count or completion order.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 0,
+        cache: ResultCache | str | os.PathLike | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.stats = ExecutorStats()
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, specs: Sequence[CellSpec]) -> list[ExperimentResult]:
+        """Run all cells; results align with ``specs`` by position.
+
+        Cache hits never execute; misses run inline (``jobs=1``) or on
+        the pool, then populate the cache.
+        """
+        specs = list(specs)
+        results: list[ExperimentResult | None] = [None] * len(specs)
+        fingerprints: list[str | None] = [None] * len(specs)
+
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            if self.cache is not None:
+                fingerprints[i] = spec.fingerprint()
+                if fingerprints[i] is not None:
+                    hit = self.cache.get(fingerprints[i])
+                    if hit is not None:
+                        results[i] = hit
+                        self.stats.cache_hits += 1
+                        continue
+            pending.append(i)
+
+        if pending:
+            computed = self._execute([specs[i] for i in pending])
+            for i, res in zip(pending, computed):
+                results[i] = res
+                self.stats.executed += 1
+                if self.cache is not None and fingerprints[i] is not None:
+                    self.cache.put(fingerprints[i], res)
+                    self.stats.cached_results += 1
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: CellSpec) -> ExperimentResult:
+        return self.run([spec])[0]
+
+    def _execute(self, specs: list[CellSpec]) -> list[ExperimentResult]:
+        if self.jobs == 1 or len(specs) == 1:
+            return [run_cell(spec) for spec in specs]
+        self._require_picklable(specs)
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_cell, specs))
+
+    @staticmethod
+    def _require_picklable(specs: list[CellSpec]) -> None:
+        """Fail fast, with guidance, before feeding a pool bad specs."""
+        for spec in specs:
+            for role, factory in (("workload", spec.workload), ("policy", spec.policy)):
+                if factory is None or isinstance(factory, _RegistrySpec):
+                    continue
+                try:
+                    pickle.dumps(factory)
+                except Exception as exc:
+                    raise ValueError(
+                        f"cell {spec.label or spec!r}: {role} factory "
+                        f"{factory!r} is not picklable, so it cannot cross "
+                        "process boundaries. Use WorkloadSpec/PolicySpec "
+                        "(or a module-level function), or run with jobs=1."
+                    ) from exc
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+) -> list[ExperimentResult]:
+    """One-call convenience: build an executor, run, return results."""
+    return ParallelExecutor(jobs=jobs, cache=cache_dir).run(specs)
+
+
+def executor_from_env(
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> ParallelExecutor:
+    """Executor honouring ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``.
+
+    Explicit arguments win over the environment; the defaults (jobs=1,
+    no cache) preserve historical serial behaviour for callers -- the
+    benchmark harness routes through this so ``REPRO_JOBS=4 pytest
+    benchmarks/`` parallelizes every grid without code changes.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return ParallelExecutor(jobs=jobs, cache=cache_dir)

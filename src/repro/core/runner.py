@@ -9,7 +9,11 @@ Every benchmark and example builds on three calls:
   identical machines/workloads plus %all-local columns.
 
 Workloads and policies are passed as zero-argument factories so each
-cell gets fresh, identically-seeded instances.
+cell gets fresh, identically-seeded instances.  Factories that are
+:class:`~repro.core.parallel.WorkloadSpec` /
+:class:`~repro.core.parallel.PolicySpec` additionally allow the cells
+to fan out across a process pool and to be served from the on-disk
+result cache -- pass an ``executor`` to any of the entry points.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from collections.abc import Callable
 from repro.core.config import ExperimentConfig
 from repro.core.engine import SimulationEngine
 from repro.core.metrics import ExperimentResult
+from repro.core.parallel import CellSpec, ParallelExecutor
 from repro.memsim.machine import Machine, MachineConfig
 from repro.memsim.tier import TieredMemoryConfig
 from repro.policies.alllocal import AllLocal
@@ -69,8 +74,17 @@ def run_experiment(
     workload_factory: WorkloadFactory,
     policy_factory: PolicyFactory,
     config: ExperimentConfig,
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentResult:
-    """Run one experiment cell and reduce its metrics."""
+    """Run one experiment cell and reduce its metrics.
+
+    With an ``executor`` the cell goes through its result cache (and
+    pool, though a single cell always runs inline).
+    """
+    if executor is not None:
+        return executor.run_one(
+            CellSpec(workload_factory, policy_factory, config)
+        )
     workload = workload_factory()
     machine = build_machine(workload.footprint_pages, config)
     policy = policy_factory()
@@ -85,8 +99,11 @@ def run_experiment(
 def run_all_local(
     workload_factory: WorkloadFactory,
     config: ExperimentConfig,
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentResult:
     """The all-local upper bound for this workload and CXL device."""
+    if executor is not None:
+        return executor.run_one(CellSpec(workload_factory, None, config))
     workload = workload_factory()
     machine = build_all_local_machine(workload.footprint_pages, config.memory)
     engine = SimulationEngine(machine, workload, AllLocal())
@@ -102,12 +119,32 @@ def compare_policies(
     policy_factories: dict[str, PolicyFactory],
     config: ExperimentConfig,
     include_all_local: bool = True,
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several policies on identical cells; adds 'AllLocal' if asked.
 
     Returns ``{policy_name: result}``; compute the paper's %all-local
     columns via ``result.relative_to(results["AllLocal"])``.
+
+    With an ``executor``, all cells (baseline included) are submitted
+    at once -- fanned across its process pool and served from its
+    result cache where possible.  Results are identical to the serial
+    path (each cell seeds its own RNGs).
     """
+    if executor is not None:
+        specs = []
+        if include_all_local:
+            specs.append(
+                CellSpec(workload_factory, None, config, label="AllLocal")
+            )
+        specs.extend(
+            CellSpec(workload_factory, factory, config, label=name)
+            for name, factory in policy_factories.items()
+        )
+        return {
+            spec.label: result
+            for spec, result in zip(specs, executor.run(specs))
+        }
     results: dict[str, ExperimentResult] = {}
     if include_all_local:
         results["AllLocal"] = run_all_local(workload_factory, config)

@@ -7,6 +7,7 @@ from typing import TypeVar
 
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import ExperimentResult
+from repro.core.parallel import CellSpec, ParallelExecutor
 from repro.core.runner import PolicyFactory, WorkloadFactory, run_experiment
 
 T = TypeVar("T")
@@ -17,13 +18,32 @@ def sweep(
     policy_factory_for: Callable[[T], PolicyFactory],
     values: Iterable[T],
     config: ExperimentConfig,
+    executor: ParallelExecutor | None = None,
 ) -> dict[T, ExperimentResult]:
     """Run one experiment per parameter value.
 
     ``policy_factory_for(v)`` returns the policy factory configured
     with parameter value ``v`` (e.g. a CBF size or a sample batch
     size); workload and machine are identical across cells.
+
+    With an ``executor`` all points are submitted at once and fan out
+    across its process pool / result cache; for ``jobs>1`` the
+    factories must be picklable (e.g.
+    ``lambda v: PolicySpec("freqtier", cbf_num_counters=v)`` -- the
+    *returned* spec is what crosses the process boundary).
     """
+    values = list(values)
+    if executor is not None:
+        specs = [
+            CellSpec(
+                workload_factory,
+                policy_factory_for(value),
+                config,
+                label=str(value),
+            )
+            for value in values
+        ]
+        return dict(zip(values, executor.run(specs)))
     results: dict[T, ExperimentResult] = {}
     for value in values:
         results[value] = run_experiment(

@@ -78,25 +78,39 @@ class PageTable:
 
     # -- the pagemap batch-read interface ---------------------------------------
 
-    def pagemap_read_batch(self, pages: np.ndarray) -> np.ndarray:
+    def pagemap_read_batch(
+        self, pages: np.ndarray, *, check: bool = True
+    ) -> np.ndarray:
         """Batched placement lookup, counted as one pseudo-fs read.
 
         This is the interface the demotion scan uses; querying a batch
         of contiguous pages with one call is the paper's optimization
-        over per-page ``/proc`` reads.
+        over per-page ``/proc`` reads.  Scans that produce their own
+        chunk ranges (``AddressSpace.scan_from``) pass ``check=False``
+        to skip re-validating indices they just generated.
         """
-        idx = self._as_index(pages)
+        idx = self._as_index(pages, check=check)
         self.pagemap_reads += 1
         self.pagemap_pages_read += int(idx.size)
         return self._placement[idx].astype(np.int64)
 
     # -- internal -------------------------------------------------------------------
 
-    def _as_index(self, pages: np.ndarray | int) -> np.ndarray:
+    def _as_index(
+        self, pages: np.ndarray | int, *, check: bool = True
+    ) -> np.ndarray:
+        """Pages as a validated int64 index array.
+
+        Validation is one unsigned single-pass comparison (negative
+        int64 ids are huge as uint64, so one test covers both ends)
+        rather than separate ``min()``/``max()`` scans per batch;
+        ``check=False`` skips it entirely for indices the caller just
+        produced in-range.
+        """
         idx = np.atleast_1d(np.asarray(pages, dtype=np.int64))
-        if idx.size:
-            lo, hi = int(idx.min()), int(idx.max())
-            if lo < 0 or hi >= self.capacity_pages:
+        if check and idx.size:
+            if np.any(idx.view(np.uint64) >= np.uint64(self.capacity_pages)):
+                lo, hi = int(idx.min()), int(idx.max())
                 raise IndexError(
                     f"page id out of range [0, {self.capacity_pages}): "
                     f"min={lo} max={hi}"

@@ -263,7 +263,9 @@ class FreqTier(TieringPolicy):
             if chunk.size == 0:
                 break
             scanned += int(chunk.size)
-            placement = table.pagemap_read_batch(chunk)
+            # scan_from only yields pages of mapped regions, which are
+            # in-bounds by construction -- skip the per-chunk re-check.
+            placement = table.pagemap_read_batch(chunk, check=False)
             overhead += cfg.effective_pagemap_read_ns
             local_pages = chunk[placement == LOCAL_TIER]
             if local_pages.size == 0:

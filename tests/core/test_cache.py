@@ -1,0 +1,135 @@
+"""Result cache: round-trips, content addressing, schema versioning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.cache as cache_mod
+from repro.core.cache import ResultCache, cell_fingerprint, config_to_dict
+from repro.core.config import ExperimentConfig
+from repro.core.parallel import (
+    CellSpec,
+    ParallelExecutor,
+    PolicySpec,
+    WorkloadSpec,
+    run_cell,
+)
+from repro.memsim.tier import CXL2_CONFIG
+
+WORKLOAD = WorkloadSpec("zipf", num_pages=512, alpha=1.1, seed=3)
+POLICY = PolicySpec("freqtier", seed=3)
+CONFIG = ExperimentConfig(local_fraction=0.1, max_batches=8, seed=3)
+
+
+def _spec(**overrides) -> CellSpec:
+    fields = {"workload": WORKLOAD, "policy": POLICY, "config": CONFIG}
+    fields.update(overrides)
+    return CellSpec(**fields)
+
+
+def test_result_round_trips_through_dict():
+    result = run_cell(_spec())
+    clone = type(result).from_dict(
+        json.loads(json.dumps(result.to_dict()))
+    )
+    assert clone.to_dict() == result.to_dict()
+    assert clone.hit_ratio_timeline == result.hit_ratio_timeline
+    assert clone.steady_p50_latency_ns == result.steady_p50_latency_ns
+
+
+def test_cache_hit_returns_equal_result(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = run_cell(_spec())
+    fp = _spec().fingerprint()
+    cache.put(fp, result)
+    hit = cache.get(fp)
+    assert hit is not None
+    assert hit.to_dict() == result.to_dict()
+    assert cache.hits == 1
+
+
+def test_cache_miss_on_absent_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("0" * 64) is None
+    assert cache.misses == 1
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        _spec(workload=WORKLOAD.with_params(seed=4)),
+        _spec(workload=WORKLOAD.with_params(alpha=1.2)),
+        _spec(policy=POLICY.with_params(seed=4)),
+        _spec(policy=PolicySpec("tpp", seed=3)),
+        _spec(policy=None),
+        _spec(config=ExperimentConfig(local_fraction=0.2, max_batches=8, seed=3)),
+        _spec(config=ExperimentConfig(local_fraction=0.1, max_batches=9, seed=3)),
+        _spec(config=ExperimentConfig(local_fraction=0.1, max_batches=8, seed=4)),
+        _spec(
+            config=ExperimentConfig(
+                local_fraction=0.1, max_batches=8, seed=3, memory=CXL2_CONFIG
+            )
+        ),
+    ],
+)
+def test_any_param_change_changes_fingerprint(variant):
+    assert variant.fingerprint() != _spec().fingerprint()
+
+
+def test_fingerprint_is_order_insensitive_and_stable():
+    a = cell_fingerprint({"x": 1, "y": 2})
+    b = cell_fingerprint({"y": 2, "x": 1})
+    assert a == b
+    assert a == cell_fingerprint({"x": 1, "y": 2})
+
+
+def test_schema_version_bump_misses(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    result = run_cell(_spec())
+    fp = _spec().fingerprint()
+    cache.put(fp, result)
+    monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", cache_mod.SCHEMA_VERSION + 1)
+    assert cache.get(fp) is None  # stored under the old schema
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "a" * 64
+    cache.path_for(fp).write_text("{not json", encoding="utf-8")
+    assert cache.get(fp) is None
+
+
+def test_executor_cache_integration(tmp_path):
+    """Second run of the same cells is served fully from cache."""
+    specs = [_spec(), _spec(policy=None)]
+    cold = ParallelExecutor(jobs=1, cache=tmp_path)
+    first = cold.run(specs)
+    assert cold.stats.executed == 2 and cold.stats.cache_hits == 0
+
+    warm = ParallelExecutor(jobs=1, cache=tmp_path)
+    second = warm.run(specs)
+    assert warm.stats.executed == 0 and warm.stats.cache_hits == 2
+    for a, b in zip(first, second):
+        assert a.to_dict() == b.to_dict()
+
+
+def test_cache_len_contains_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = run_cell(_spec())
+    fp = _spec().fingerprint()
+    assert fp not in cache
+    cache.put(fp, result)
+    assert fp in cache
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_config_to_dict_covers_identity_fields():
+    d = config_to_dict(CONFIG)
+    assert d["local_fraction"] == 0.1
+    assert d["seed"] == 3
+    assert d["memory"]["name"] == "CXL-1"
+    assert d["memory"]["cxl"]["latency_ns"] > d["memory"]["local"]["latency_ns"]

@@ -1,0 +1,159 @@
+"""Parallel executor: spec round-trips, jobs semantics, determinism."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.parallel import (
+    CellSpec,
+    ParallelExecutor,
+    PolicySpec,
+    WorkloadSpec,
+    executor_from_env,
+    resolve_jobs,
+    run_cells,
+)
+from repro.core.runner import compare_policies, run_experiment
+from repro.core.sweep import sweep
+
+WORKLOAD = WorkloadSpec("zipf", num_pages=512, alpha=1.1, seed=3)
+POLICIES = {
+    "FreqTier": PolicySpec("freqtier", seed=3),
+    "TPP": PolicySpec("tpp", seed=3),
+}
+CONFIG = ExperimentConfig(local_fraction=0.1, max_batches=8, seed=3)
+
+
+def test_workload_spec_builds_fresh_instances():
+    a, b = WORKLOAD(), WORKLOAD()
+    assert a is not b
+    assert a.footprint_pages == b.footprint_pages
+
+
+def test_policy_spec_builds_policy():
+    policy = PolicySpec("freqtier", seed=7)()
+    assert policy.name == "FreqTier"
+    assert policy.seed == 7
+
+
+def test_unknown_spec_name_raises_with_choices():
+    with pytest.raises(KeyError, match="registered:"):
+        WorkloadSpec("no-such-workload")()
+    with pytest.raises(KeyError, match="registered:"):
+        PolicySpec("no-such-policy")()
+
+
+def test_specs_pickle_by_value():
+    spec = CellSpec(WORKLOAD, POLICIES["FreqTier"], CONFIG, label="x")
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.workload == WORKLOAD
+    assert clone.policy == POLICIES["FreqTier"]
+    assert clone.label == "x"
+    assert clone.fingerprint() == spec.fingerprint()
+
+
+def test_with_params_overrides_without_mutating():
+    base = PolicySpec("freqtier", seed=1)
+    varied = base.with_params(seed=2)
+    assert base.params == {"seed": 1}
+    assert varied.params == {"seed": 2}
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(5) == 5
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+def test_parallel_matches_serial_bit_identical():
+    """The acceptance-criterion test: jobs=4 == jobs=1, field for field."""
+    serial = compare_policies(
+        WORKLOAD, POLICIES, CONFIG, executor=ParallelExecutor(jobs=1)
+    )
+    parallel = compare_policies(
+        WORKLOAD, POLICIES, CONFIG, executor=ParallelExecutor(jobs=4)
+    )
+    assert set(serial) == set(parallel) == {"AllLocal", "FreqTier", "TPP"}
+    for name in serial:
+        assert serial[name].to_dict() == parallel[name].to_dict(), name
+
+
+def test_executor_path_matches_legacy_serial_path():
+    legacy = compare_policies(WORKLOAD, POLICIES, CONFIG)
+    routed = compare_policies(
+        WORKLOAD, POLICIES, CONFIG, executor=ParallelExecutor(jobs=1)
+    )
+    for name in legacy:
+        assert legacy[name].to_dict() == routed[name].to_dict(), name
+
+
+def test_run_cells_positional_alignment():
+    specs = [
+        CellSpec(WORKLOAD, POLICIES["TPP"], CONFIG),
+        CellSpec(WORKLOAD, None, CONFIG),
+        CellSpec(WORKLOAD, POLICIES["FreqTier"], CONFIG),
+    ]
+    results = run_cells(specs, jobs=2)
+    assert [r.policy_name for r in results] == ["TPP", "AllLocal", "FreqTier"]
+
+
+def test_sweep_through_executor_matches_serial():
+    values = [1, 3]
+    factory_for = lambda v: PolicySpec("freqtier", seed=3, initial_hot_threshold=v)
+    serial = sweep(WORKLOAD, factory_for, values, CONFIG)
+    parallel = sweep(
+        WORKLOAD, factory_for, values, CONFIG, executor=ParallelExecutor(jobs=2)
+    )
+    assert list(parallel) == values
+    for v in values:
+        assert serial[v].to_dict() == parallel[v].to_dict()
+
+
+def test_jobs_one_accepts_closures():
+    result = run_experiment(
+        WORKLOAD, POLICIES["TPP"], CONFIG, executor=ParallelExecutor(jobs=1)
+    )
+    closure = compare_policies(
+        lambda: WORKLOAD(),
+        {"TPP": lambda: POLICIES["TPP"]()},
+        CONFIG,
+        include_all_local=False,
+        executor=ParallelExecutor(jobs=1),
+    )
+    assert closure["TPP"].to_dict() == result.to_dict()
+
+
+def test_unpicklable_factories_rejected_with_guidance():
+    captured = []  # make the lambda a true closure (unpicklable)
+    specs = [
+        CellSpec(lambda: captured or WORKLOAD(), POLICIES["TPP"], CONFIG),
+        CellSpec(WORKLOAD, POLICIES["FreqTier"], CONFIG),
+    ]
+    with pytest.raises(ValueError, match="WorkloadSpec/PolicySpec"):
+        ParallelExecutor(jobs=2).run(specs)
+
+
+def test_executor_from_env_reads_variables(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    ex = executor_from_env()
+    assert ex.jobs == 3
+    assert ex.cache is not None
+    monkeypatch.delenv("REPRO_JOBS")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    ex_default = executor_from_env()
+    assert ex_default.jobs == 1
+    assert ex_default.cache is None
+
+
+def test_closure_cells_have_no_fingerprint():
+    assert CellSpec(lambda: None, None, CONFIG).fingerprint() is None
+    assert (
+        CellSpec(WORKLOAD, lambda: None, CONFIG).fingerprint() is None
+    )
+    assert CellSpec(WORKLOAD, None, CONFIG).fingerprint() is not None
