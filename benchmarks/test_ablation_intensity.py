@@ -11,7 +11,7 @@ avoid.
 import pytest
 
 from benchmarks._common import cdn_workload
-from repro import ExperimentConfig, FreqTier, FreqTierConfig, run_all_local, run_experiment
+from repro import ExperimentConfig, FreqTier, run_all_local, run_experiment
 from repro.analysis.tables import format_rows
 from repro.policies.freqtier.intensity import IntensityController, TieringState
 from repro.sampling.pebs import SamplingLevel

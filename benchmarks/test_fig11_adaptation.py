@@ -19,6 +19,8 @@ from repro import (
     CDN_PROFILE,
     ExperimentConfig,
     FreqTier,
+    ListSink,
+    Tracer,
 )
 from repro.core.engine import SimulationEngine
 from repro.core.runner import build_machine
@@ -45,20 +47,21 @@ def run_policy(policy):
     workload = shifted_workload()
     config = ExperimentConfig(local_fraction=0.06, ratio_label="1:32", seed=9)
     machine = build_machine(workload.footprint_pages, config)
-    engine = SimulationEngine(machine, workload, policy)
+    sink = ListSink()
+    engine = SimulationEngine(machine, workload, policy, tracer=Tracer(sinks=[sink]))
     result = engine.run(max_batches=TOTAL_BATCHES)
-    return engine, result
+    return engine, result, sink
 
 
 @pytest.fixture(scope="module")
 def runs():
-    ft_engine, ft_result = run_policy(FreqTier(seed=9))
-    __, an_result = run_policy(AutoNUMA(seed=9))
-    return ft_engine, ft_result, an_result
+    ft_engine, ft_result, ft_sink = run_policy(FreqTier(seed=9))
+    __, an_result, __sink = run_policy(AutoNUMA(seed=9))
+    return ft_engine, ft_result, an_result, ft_sink
 
 
 def test_fig11_distribution_change(benchmark, runs):
-    ft_engine, ft_result, an_result = runs
+    ft_engine, ft_result, an_result, ft_sink = runs
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     records = ft_engine.metrics.records
@@ -74,9 +77,10 @@ def test_fig11_distribution_change(benchmark, runs):
     print(f"  pre-shift hit ratio:   {pre_avg:.1%}")
     print(f"  post-shift minimum:    {crash_min:.1%}")
     print(f"  recovered hit ratio:   {tail_avg:.1%}")
-    transitions = ft_engine.policy.intensity.transitions
     resumes = [
-        (t, e) for t, e in transitions if "resume-sampling" in e and t > shift_time
+        e
+        for e in ft_sink.of_type("state_transition")
+        if e["to"] == "sampling" and e["t_ns"] > shift_time
     ]
     print(f"  resume-sampling events after shift: {len(resumes)}")
 

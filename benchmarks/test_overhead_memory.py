@@ -9,7 +9,6 @@ are closed-form, no simulation needed) and also reports the simulated
 policies' modeled metadata from a real run.
 """
 
-import pytest
 
 from benchmarks._common import cdn_workload
 from repro import ExperimentConfig, FreqTier, HeMem, run_experiment

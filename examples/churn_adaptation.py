@@ -16,7 +16,14 @@ Usage:
     python examples/churn_adaptation.py
 """
 
-from repro import CacheLibWorkload, CDN_PROFILE, ExperimentConfig, FreqTier
+from repro import (
+    CacheLibWorkload,
+    CDN_PROFILE,
+    ExperimentConfig,
+    FreqTier,
+    ListSink,
+    Tracer,
+)
 from repro.analysis.timeline import resample_timeline
 from repro.core.engine import SimulationEngine
 from repro.core.runner import build_machine
@@ -48,7 +55,8 @@ def main() -> None:
     config = ExperimentConfig(local_fraction=0.06, ratio_label="1:32", seed=9)
     machine = build_machine(workload.footprint_pages, config)
     policy = FreqTier(seed=9)
-    engine = SimulationEngine(machine, workload, policy)
+    sink = ListSink()
+    engine = SimulationEngine(machine, workload, policy, tracer=Tracer(sinks=[sink]))
 
     print(
         f"Running {TOTAL_BATCHES} batches; all accesses shift to the "
@@ -62,13 +70,17 @@ def main() -> None:
     print(f"  start {series[0]:.0%} ... min {min(series):.0%} ... end {series[-1]:.0%}")
 
     print("\nFreqTier state transitions:")
-    for t, event in policy.intensity.transitions:
-        print(f"  t={t / 1e6:8.2f} ms  {event}")
+    for e in sink.of_type("state_transition"):
+        print(
+            f"  t={e['t_ns'] / 1e6:8.2f} ms  "
+            f"{e['from']} -> {e['to']} ({e['reason']})"
+        )
 
     shift_time = engine.metrics.records[SHIFT_AT_BATCH].start_ns
     resumed = [
-        t for t, e in policy.intensity.transitions
-        if "resume-sampling" in e and t >= shift_time
+        e["t_ns"]
+        for e in sink.of_type("state_transition")
+        if e["to"] == "sampling" and e["t_ns"] >= shift_time
     ]
     if resumed:
         print(

@@ -56,6 +56,14 @@ from repro.core import (
     run_experiment,
     sweep,
 )
+from repro.obs import (
+    JsonlTraceSink,
+    ListSink,
+    NULL_TRACER,
+    Tracer,
+    trace_to,
+    validate_event,
+)
 from repro.memsim import (
     CXL1_CONFIG,
     CXL2_CONFIG,
@@ -107,12 +115,15 @@ __all__ = [
     "GiB",
     "HeMem",
     "HybridTier",
+    "JsonlTraceSink",
     "KiB",
+    "ListSink",
     "LOCAL_DRAM",
     "Machine",
     "MachineConfig",
     "MiB",
     "MultiClock",
+    "NULL_TRACER",
     "PAGE_SIZE",
     "PAGES_PER_SIM_GB",
     "ParallelExecutor",
@@ -127,6 +138,7 @@ __all__ = [
     "TieredMemoryConfig",
     "TierSpec",
     "TPP",
+    "Tracer",
     "WorkloadSpec",
     "XGBoostWorkload",
     "ZipfianSampler",
@@ -137,4 +149,6 @@ __all__ = [
     "run_experiment",
     "sim_gb_to_pages",
     "sweep",
+    "trace_to",
+    "validate_event",
 ]

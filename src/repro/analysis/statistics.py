@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import ExperimentResult
-from repro.core.runner import PolicyFactory, run_experiment
+from repro.core.runner import run_experiment
 from repro.workloads.spec import Workload
 
 

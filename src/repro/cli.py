@@ -9,9 +9,14 @@ Usage::
         --local-fraction 0.12
     python -m repro.cli sweep --workload cdn --policy freqtier \
         --fractions 0.03,0.06,0.12,0.24
+    python -m repro.cli run --workload zipf --policy freqtier \
+        --trace out.jsonl
+    python -m repro.cli trace summarize out.jsonl
 
 Outputs a human-readable table by default; ``--json`` emits
-machine-readable results.
+machine-readable results.  ``--trace`` writes a JSONL event trace
+(``run``: one file; ``compare``: one file per cell in a directory);
+``trace summarize`` / ``trace validate`` inspect such files.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.core.parallel import (
 )
 from repro.core.runner import compare_policies, run_all_local, run_experiment
 from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
+from repro.obs import trace_to
 
 
 def _workload_registry(seed: int) -> dict[str, Callable]:
@@ -161,7 +167,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     max_batches = None if args.batches <= 0 else args.batches
     config.max_batches = max_batches
-    result = run_experiment(workload, policy, config)
+    with trace_to(args.trace) as tracer:
+        result = run_experiment(workload, policy, config, tracer=tracer)
     payload = _result_dict(result)
     if args.baseline:
         base = run_all_local(workload, config)
@@ -189,8 +196,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     config.max_batches = None if args.batches <= 0 else args.batches
     results = compare_policies(
-        workload, policies, config, executor=_executor_from_args(args)
+        workload,
+        policies,
+        config,
+        executor=_executor_from_args(args),
+        trace_dir=args.trace,
     )
+    if args.trace:
+        print(f"per-cell traces written under {args.trace}/", file=sys.stderr)
     if args.report:
         from repro.analysis.report import markdown_report
 
@@ -264,6 +277,49 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Summarize a JSONL trace: counts, timeline, adaptation latencies."""
+    from repro.analysis.tracetool import (
+        format_trace_summary,
+        read_events,
+        summarize_trace,
+    )
+
+    summary = summarize_trace(read_events(args.path))
+    if args.json:
+        print(json.dumps(summary, default=str))
+    else:
+        print(format_trace_summary(summary))
+    return 0
+
+
+def cmd_trace_validate(args: argparse.Namespace) -> int:
+    """Validate every line of a JSONL trace against the event schema."""
+    from repro.analysis.tracetool import validate_trace
+
+    outcome = validate_trace(args.path)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "path": args.path,
+                    "events": len(outcome.events),
+                    "errors": [
+                        {"line": line, "error": msg}
+                        for line, msg in outcome.errors
+                    ],
+                    "ok": outcome.ok,
+                }
+            )
+        )
+    else:
+        for line, msg in outcome.errors:
+            print(f"{args.path}:{line}: {msg}", file=sys.stderr)
+        verdict = "OK" if outcome.ok else f"{len(outcome.errors)} invalid line(s)"
+        print(f"{args.path}: {len(outcome.events)} valid events, {verdict}")
+    return 0 if outcome.ok else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
     policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
@@ -327,6 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the all-local baseline and report %%all-local",
     )
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace of the run to PATH",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare several policies")
@@ -340,7 +402,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument(
         "--report", default=None, help="also write a markdown report here"
     )
+    p_cmp.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="write one JSONL event trace per cell under DIR "
+        "(cache hits record a single cache_hit event)",
+    )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_trace = sub.add_parser("trace", help="inspect JSONL trace files")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize",
+        help="event counts, state/level timeline, adaptation latencies",
+    )
+    p_sum.add_argument("path", help="JSONL trace file")
+    p_sum.add_argument("--json", action="store_true")
+    p_sum.set_defaults(func=cmd_trace_summarize)
+    p_val = trace_sub.add_parser(
+        "validate", help="check every line against the event schema"
+    )
+    p_val.add_argument("path", help="JSONL trace file")
+    p_val.add_argument("--json", action="store_true")
+    p_val.set_defaults(func=cmd_trace_validate)
 
     p_sweep = sub.add_parser("sweep", help="sweep local DRAM fractions")
     _add_common_args(p_sweep)

@@ -19,22 +19,32 @@ import numpy as np
 from repro.core.metrics import MetricsCollector
 from repro.memsim.machine import Machine
 from repro.memsim.pagetable import LOCAL_TIER
+from repro.obs import NULL_TRACER, Tracer
 from repro.policies.base import TieringPolicy
 from repro.workloads.spec import Workload
 
 
 class SimulationEngine:
-    """Drives one (machine, workload, policy) experiment."""
+    """Drives one (machine, workload, policy) experiment.
+
+    Pass a :class:`~repro.obs.Tracer` to observe the run: the engine
+    emits one ``batch`` event per serviced access batch, advances the
+    tracer's virtual clock, and hands the same tracer to the policy
+    (and machine) so their events share the timeline.  The default
+    :data:`~repro.obs.NULL_TRACER` is a no-op.
+    """
 
     def __init__(
         self,
         machine: Machine,
         workload: Workload,
         policy: TieringPolicy,
+        tracer: Tracer | None = None,
     ):
         self.machine = machine
         self.workload = workload
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = MetricsCollector()
         self.now_ns = 0.0
         self._setup_done = False
@@ -47,6 +57,8 @@ class SimulationEngine:
         """
         if self._setup_done:
             return
+        self.machine.tracer = self.tracer
+        self.policy.set_tracer(self.tracer)
         self.policy.attach(self.machine)
         self.workload.setup(self.machine)
         self._setup_done = True
@@ -60,6 +72,7 @@ class SimulationEngine:
         """Run to a limit (or trace exhaustion); returns ExperimentResult."""
         self.setup()
         machine = self.machine
+        tracer = self.tracer
         accesses_done = 0
         batches_done = 0
         for batch in self.workload.batches():
@@ -68,6 +81,7 @@ class SimulationEngine:
             if max_accesses is not None and accesses_done >= max_accesses:
                 break
 
+            tracer.clock_ns = self.now_ns
             tiers = machine.placement_of(batch.page_ids)
             n_local = int(np.count_nonzero(tiers == LOCAL_TIER))
             n_cxl = batch.num_accesses - n_local
@@ -76,6 +90,15 @@ class SimulationEngine:
             migrated_before = machine.traffic.pages_migrated
             overhead_ns = self.policy.on_batch(batch, tiers, self.now_ns)
             migrated = machine.traffic.pages_migrated - migrated_before
+            if tracer.enabled:
+                tracer.emit(
+                    "batch",
+                    t_ns=self.now_ns,
+                    n_local=n_local,
+                    n_cxl=n_cxl,
+                    pages_migrated=migrated,
+                    overhead_ns=overhead_ns,
+                )
 
             cost = machine.cost_model.batch_cost(
                 cpu_ns=batch.cpu_ns,
@@ -98,11 +121,17 @@ class SimulationEngine:
             accesses_done += batch.num_accesses
             batches_done += 1
 
+        policy_stats = self.policy.stats.as_dict()
+        if tracer.enabled:
+            # The tracer's per-run aggregates (samples lost, scan
+            # chunks, CBF ops, migration batch sizes...) ride along in
+            # policy_stats so reports need not parse the trace file.
+            policy_stats.update(tracer.stats_dict())
         return self.metrics.finalize(
             policy_name=self.policy.name,
             workload_name=self.workload.name,
             traffic_breakdown=machine.traffic.breakdown(),
             migration_bytes=machine.traffic.migration_bytes,
             warmup_fraction=warmup_fraction,
-            policy_stats=self.policy.stats.as_dict(),
+            policy_stats=policy_stats,
         )

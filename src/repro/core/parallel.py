@@ -35,6 +35,7 @@ from typing import Any
 from repro.core.cache import ResultCache, cell_fingerprint, config_to_dict
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import ExperimentResult
+from repro.obs import trace_to
 
 # --------------------------------------------------------------------------
 # Factory registries
@@ -201,12 +202,18 @@ class CellSpec:
     ``policy=None`` marks the all-local baseline cell (run on an
     all-DRAM machine via :func:`repro.core.runner.run_all_local`).
     ``label`` is carried through for callers that key results by name.
+    ``trace_path`` (optional) makes the cell write a JSONL event trace
+    there while it runs -- one file per cell, created inside whichever
+    process executes it; cache-served cells record one ``cache_hit``
+    event instead.  The trace destination is observability-only and
+    deliberately excluded from the cache fingerprint.
     """
 
     workload: Callable[[], Any]
     policy: Callable[[], Any] | None
     config: ExperimentConfig
     label: str = ""
+    trace_path: str | None = None
 
     def fingerprint(self) -> str | None:
         """Content-address of this cell, or None if not addressable.
@@ -241,9 +248,12 @@ def run_cell(spec: CellSpec) -> ExperimentResult:
     # cannot cycle through repro.core.runner.
     from repro.core.runner import run_all_local, run_experiment
 
-    if spec.policy is None:
-        return run_all_local(spec.workload, spec.config)
-    return run_experiment(spec.workload, spec.policy, spec.config)
+    with trace_to(spec.trace_path) as tracer:
+        if spec.policy is None:
+            return run_all_local(spec.workload, spec.config, tracer=tracer)
+        return run_experiment(
+            spec.workload, spec.policy, spec.config, tracer=tracer
+        )
 
 
 # --------------------------------------------------------------------------
@@ -321,6 +331,8 @@ class ParallelExecutor:
                     if hit is not None:
                         results[i] = hit
                         self.stats.cache_hits += 1
+                        if spec.trace_path is not None:
+                            self._record_cache_hit(spec, fingerprints[i])
                         continue
             pending.append(i)
 
@@ -336,6 +348,17 @@ class ParallelExecutor:
 
     def run_one(self, spec: CellSpec) -> ExperimentResult:
         return self.run([spec])[0]
+
+    @staticmethod
+    def _record_cache_hit(spec: CellSpec, fingerprint: str) -> None:
+        """A cache-served cell still leaves a (one-event) trace file."""
+        with trace_to(spec.trace_path) as tracer:
+            tracer.emit(
+                "cache_hit",
+                t_ns=0.0,
+                label=spec.label,
+                fingerprint=fingerprint,
+            )
 
     def _execute(self, specs: list[CellSpec]) -> list[ExperimentResult]:
         if self.jobs == 1 or len(specs) == 1:

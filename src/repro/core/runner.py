@@ -18,6 +18,7 @@ result cache -- pass an ``executor`` to any of the entry points.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 
 from repro.core.config import ExperimentConfig
@@ -26,6 +27,7 @@ from repro.core.metrics import ExperimentResult
 from repro.core.parallel import CellSpec, ParallelExecutor
 from repro.memsim.machine import Machine, MachineConfig
 from repro.memsim.tier import TieredMemoryConfig
+from repro.obs import Tracer, trace_to
 from repro.policies.alllocal import AllLocal
 from repro.policies.base import TieringPolicy
 from repro.workloads.spec import Workload
@@ -75,20 +77,29 @@ def run_experiment(
     policy_factory: PolicyFactory,
     config: ExperimentConfig,
     executor: ParallelExecutor | None = None,
+    tracer: Tracer | None = None,
 ) -> ExperimentResult:
     """Run one experiment cell and reduce its metrics.
 
     With an ``executor`` the cell goes through its result cache (and
-    pool, though a single cell always runs inline).
+    pool, though a single cell always runs inline).  A ``tracer``
+    applies to the inline path only; to trace cells running under an
+    executor, set ``CellSpec.trace_path`` instead (tracer objects hold
+    open sinks and do not cross process boundaries).
     """
     if executor is not None:
+        if tracer is not None:
+            raise ValueError(
+                "tracer= only applies to inline runs; with an executor, "
+                "set CellSpec.trace_path on the submitted cells"
+            )
         return executor.run_one(
             CellSpec(workload_factory, policy_factory, config)
         )
     workload = workload_factory()
     machine = build_machine(workload.footprint_pages, config)
     policy = policy_factory()
-    engine = SimulationEngine(machine, workload, policy)
+    engine = SimulationEngine(machine, workload, policy, tracer=tracer)
     return engine.run(
         max_batches=config.max_batches,
         max_accesses=config.max_accesses,
@@ -100,13 +111,19 @@ def run_all_local(
     workload_factory: WorkloadFactory,
     config: ExperimentConfig,
     executor: ParallelExecutor | None = None,
+    tracer: Tracer | None = None,
 ) -> ExperimentResult:
     """The all-local upper bound for this workload and CXL device."""
     if executor is not None:
+        if tracer is not None:
+            raise ValueError(
+                "tracer= only applies to inline runs; with an executor, "
+                "set CellSpec.trace_path on the submitted cells"
+            )
         return executor.run_one(CellSpec(workload_factory, None, config))
     workload = workload_factory()
     machine = build_all_local_machine(workload.footprint_pages, config.memory)
-    engine = SimulationEngine(machine, workload, AllLocal())
+    engine = SimulationEngine(machine, workload, AllLocal(), tracer=tracer)
     return engine.run(
         max_batches=config.max_batches,
         max_accesses=config.max_accesses,
@@ -120,6 +137,7 @@ def compare_policies(
     config: ExperimentConfig,
     include_all_local: bool = True,
     executor: ParallelExecutor | None = None,
+    trace_dir: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several policies on identical cells; adds 'AllLocal' if asked.
 
@@ -130,15 +148,37 @@ def compare_policies(
     at once -- fanned across its process pool and served from its
     result cache where possible.  Results are identical to the serial
     path (each cell seeds its own RNGs).
+
+    With a ``trace_dir``, each cell writes its own JSONL event trace
+    to ``<trace_dir>/<name>.jsonl`` (cache-served cells record a
+    single ``cache_hit`` event) -- works on both the serial and the
+    executor path.
     """
+    def trace_path(name: str) -> str | None:
+        if trace_dir is None:
+            return None
+        return os.path.join(trace_dir, f"{name}.jsonl")
+
     if executor is not None:
         specs = []
         if include_all_local:
             specs.append(
-                CellSpec(workload_factory, None, config, label="AllLocal")
+                CellSpec(
+                    workload_factory,
+                    None,
+                    config,
+                    label="AllLocal",
+                    trace_path=trace_path("AllLocal"),
+                )
             )
         specs.extend(
-            CellSpec(workload_factory, factory, config, label=name)
+            CellSpec(
+                workload_factory,
+                factory,
+                config,
+                label=name,
+                trace_path=trace_path(name),
+            )
             for name, factory in policy_factories.items()
         )
         return {
@@ -147,7 +187,13 @@ def compare_policies(
         }
     results: dict[str, ExperimentResult] = {}
     if include_all_local:
-        results["AllLocal"] = run_all_local(workload_factory, config)
+        with trace_to(trace_path("AllLocal")) as tracer:
+            results["AllLocal"] = run_all_local(
+                workload_factory, config, tracer=tracer
+            )
     for name, factory in policy_factories.items():
-        results[name] = run_experiment(workload_factory, factory, config)
+        with trace_to(trace_path(name)) as tracer:
+            results[name] = run_experiment(
+                workload_factory, factory, config, tracer=tracer
+            )
     return results

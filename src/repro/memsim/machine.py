@@ -25,6 +25,7 @@ from repro.memsim.costmodel import CostModel, CostModelParams
 from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER, PageTable
 from repro.memsim.tier import CXL1_CONFIG, TieredMemoryConfig
 from repro.memsim.traffic import TrafficMeter
+from repro.obs import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -88,6 +89,9 @@ class Machine:
         self.page_table = PageTable(config.total_capacity_pages)
         self.traffic = TrafficMeter()
         self.cost_model = CostModel(config.memory, config.cost_params)
+        #: Observability handle; timestamps use ``tracer.clock_ns``
+        #: (the engine advances it), as the machine has no clock.
+        self.tracer: Tracer = NULL_TRACER
         self._reserved_local_pages = 0
 
     # -- reservations (e.g. pinned tiering metadata) -----------------------
@@ -230,9 +234,15 @@ class Machine:
         if moved.size == 0:
             return 0
         self.page_table.place(moved, target_tier)
-        self.traffic.record_migration(
-            int(moved.size), promotion=(target_tier == LOCAL_TIER)
-        )
+        promotion = target_tier == LOCAL_TIER
+        self.traffic.record_migration(int(moved.size), promotion=promotion)
+        if self.tracer.enabled:
+            if promotion:
+                self.tracer.observe("promotion_batch_pages", int(moved.size))
+                self.tracer.count("pages_promoted", int(moved.size))
+            else:
+                self.tracer.observe("demotion_batch_pages", int(moved.size))
+                self.tracer.count("pages_demoted", int(moved.size))
         return int(moved.size)
 
     def promote(self, pages: np.ndarray) -> int:

@@ -1,0 +1,47 @@
+"""Structured tracing and metrics for the simulation loop.
+
+The observability layer has three pieces:
+
+- **events** (:mod:`repro.obs.events`): the typed-event schema every
+  trace line obeys (``batch``, ``promotion``, ``demotion_scan``,
+  ``window_close``, ``level_change``, ``state_transition``, ``aging``,
+  ``ring_overflow``, ``cache_hit``);
+- **tracer** (:mod:`repro.obs.tracer`): the handle the engine,
+  policies, samplers and machine emit through -- near-zero-cost no-op
+  by default (:data:`NULL_TRACER`);
+- **sinks and registries**: :class:`JsonlTraceSink` persists events,
+  :class:`ListSink` captures them in memory, and the counter/histogram
+  registries reduce per-run aggregates into
+  ``ExperimentResult.policy_stats``.
+
+Wire a tracer into a run with ``SimulationEngine(..., tracer=...)``,
+``run_experiment(..., tracer=...)``, the CLI ``--trace`` flag, or
+per-cell via ``CellSpec(trace_path=...)``.
+"""
+
+from repro.obs.events import (
+    BASE_FIELDS,
+    EVENT_TYPES,
+    TraceEventError,
+    validate_event,
+)
+from repro.obs.registry import CounterRegistry, HistogramRegistry
+from repro.obs.sinks import JsonlTraceSink, ListSink, TraceSink, read_jsonl
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, trace_to
+
+__all__ = [
+    "BASE_FIELDS",
+    "CounterRegistry",
+    "EVENT_TYPES",
+    "HistogramRegistry",
+    "JsonlTraceSink",
+    "ListSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEventError",
+    "TraceSink",
+    "Tracer",
+    "read_jsonl",
+    "trace_to",
+    "validate_event",
+]

@@ -1,0 +1,78 @@
+"""Trace event schema.
+
+Every event emitted by the tracer is one flat JSON-serializable dict
+carrying three base fields plus a per-type payload:
+
+- ``type``  -- one of :data:`EVENT_TYPES`;
+- ``t_ns``  -- virtual-time timestamp (simulated nanoseconds, float);
+- ``seq``   -- per-tracer monotonically increasing sequence number,
+  the tie-breaker for events sharing a timestamp.
+
+The payload field sets below are *required minimums*: emitters may
+attach extra fields (they round-trip through the JSONL sink), but a
+line missing a required field fails :func:`validate_event` -- the
+contract the CI traced-smoke job enforces on real runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Fields every event carries, regardless of type.
+BASE_FIELDS = frozenset({"type", "t_ns", "seq"})
+
+#: Required payload fields per event type.
+EVENT_TYPES: dict[str, frozenset[str]] = {
+    # One simulated access batch serviced by the engine.
+    "batch": frozenset(
+        {"n_local", "n_cxl", "pages_migrated", "overhead_ns"}
+    ),
+    # One batched promotion pass that found promotion candidates.
+    "promotion": frozenset({"candidates", "promoted", "threshold"}),
+    # One watermark-gated demotion scan (Algorithm 2 invocation).
+    "demotion_scan": frozenset({"chunks", "scanned", "demoted", "empty"}),
+    # An observation window closed (dynamic-intensity bookkeeping).
+    "window_close": frozenset(
+        {"hit_ratio", "pages_promoted", "processing_rounds", "state", "level"}
+    ),
+    # The sampling level moved one step up or down the ladder.
+    "level_change": frozenset({"from", "to", "reason"}),
+    # SAMPLING <-> MONITORING state-machine transition.
+    "state_transition": frozenset({"from", "to", "reason", "level"}),
+    # The CBF counters were halved (periodic aging).
+    "aging": frozenset({"samples"}),
+    # Samples dropped from the PEBS ring (capacity or state flush).
+    "ring_overflow": frozenset({"lost", "reason"}),
+    # A parallel-executor cell was served from the result cache.
+    "cache_hit": frozenset({"label", "fingerprint"}),
+}
+
+
+class TraceEventError(ValueError):
+    """An event dict violates the trace schema."""
+
+
+def validate_event(event: Any) -> None:
+    """Raise :class:`TraceEventError` unless ``event`` is schema-valid."""
+    if not isinstance(event, dict):
+        raise TraceEventError(f"event must be a dict, got {type(event).__name__}")
+    missing_base = BASE_FIELDS - event.keys()
+    if missing_base:
+        raise TraceEventError(
+            f"event missing base fields {sorted(missing_base)}: {event!r}"
+        )
+    etype = event["type"]
+    if etype not in EVENT_TYPES:
+        valid = ", ".join(sorted(EVENT_TYPES))
+        raise TraceEventError(f"unknown event type {etype!r}; known: {valid}")
+    if not isinstance(event["t_ns"], (int, float)) or isinstance(
+        event["t_ns"], bool
+    ):
+        raise TraceEventError(f"t_ns must be a number, got {event['t_ns']!r}")
+    if not isinstance(event["seq"], int) or isinstance(event["seq"], bool):
+        raise TraceEventError(f"seq must be an int, got {event['seq']!r}")
+    missing = EVENT_TYPES[etype] - event.keys()
+    if missing:
+        raise TraceEventError(
+            f"{etype!r} event missing fields {sorted(missing)}: {event!r}"
+        )

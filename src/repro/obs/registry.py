@@ -1,0 +1,82 @@
+"""Per-run counter and histogram aggregation.
+
+These are the tracer's scalar side: while trace *events* capture the
+temporal story, the registries reduce a run's activity to per-run
+aggregates (samples lost, scan chunks touched, CBF ops, migration
+batch sizes) that merge into ``ExperimentResult.policy_stats`` so
+reports and benchmark tables can pick them up without parsing a trace
+file.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class CounterRegistry:
+    """Named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class HistogramRegistry:
+    """Named streaming histograms (count/sum/min/max/mean, O(1) memory).
+
+    Values are reduced on the fly -- no sample list is kept -- so the
+    registries stay cheap enough to leave enabled for whole grids.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, list[float]] = {}  # [count, sum, min, max]
+
+    def observe(self, name: str, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"cannot observe NaN in histogram {name!r}")
+        stats = self._stats.get(name)
+        if stats is None:
+            self._stats[name] = [1.0, value, value, value]
+        else:
+            stats[0] += 1.0
+            stats[1] += value
+            stats[2] = min(stats[2], value)
+            stats[3] = max(stats[3], value)
+
+    def summary(self, name: str) -> dict[str, float] | None:
+        stats = self._stats.get(name)
+        if stats is None:
+            return None
+        count, total, lo, hi = stats
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count,
+        }
+
+    def as_dict(self) -> dict[str, float]:
+        """Flattened ``{name_stat: value}`` view of every histogram."""
+        out: dict[str, float] = {}
+        for name in self._stats:
+            for stat, value in self.summary(name).items():
+                out[f"{name}_{stat}"] = value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._stats)

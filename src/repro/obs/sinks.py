@@ -1,0 +1,91 @@
+"""Trace sinks: where emitted events go.
+
+A sink is anything with ``write(event: dict)`` and ``close()``.  Two
+implementations cover the practical needs:
+
+- :class:`JsonlTraceSink` -- one JSON object per line on disk, the
+  interchange format ``repro trace summarize`` / ``validate`` and
+  :mod:`repro.analysis.tracetool` consume;
+- :class:`ListSink` -- in-memory capture for tests and interactive
+  analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable, Protocol
+
+
+class TraceSink(Protocol):
+    """Destination for trace events."""
+
+    def write(self, event: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class ListSink:
+    """Collects events in memory (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.closed = False
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, etype: str) -> list[dict]:
+        return [e for e in self.events if e["type"] == etype]
+
+
+class JsonlTraceSink:
+    """Writes events as JSON Lines to ``path`` (or an open stream).
+
+    Parent directories are created on demand; the file is truncated,
+    so one sink == one run's trace.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, stream: IO[str] | None = None):
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self.path = os.fspath(path) if path is not None else None
+        if self.path is not None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh: IO[str] = open(self.path, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = stream
+            self._owns_fh = False
+        self.events_written = 0
+
+    def write(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True, default=float))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_fh and not self._fh.closed:
+            self._fh.close()
+        elif not self._owns_fh:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | os.PathLike) -> Iterable[dict]:
+    """Yield events from a JSONL trace file (blank lines skipped)."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

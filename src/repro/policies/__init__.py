@@ -22,13 +22,13 @@ from repro.policies.autonuma import AutoNUMA
 from repro.policies.base import PolicyStats, TieringPolicy
 from repro.policies.damon import DAMONRegion
 from repro.policies.freqtier import FreqTier, FreqTierConfig
-
-#: Camera-ready (ASPLOS'25) name of the same system.
-HybridTier = FreqTier
 from repro.policies.hemem import HeMem
 from repro.policies.multiclock import MultiClock
 from repro.policies.static_policy import StaticNoMigration
 from repro.policies.tpp import TPP
+
+#: Camera-ready (ASPLOS'25) name of the same system.
+HybridTier = FreqTier
 
 __all__ = [
     "AllLocal",

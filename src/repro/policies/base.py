@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.memsim.machine import Machine
+from repro.obs import NULL_TRACER, Tracer
 from repro.sampling.events import AccessBatch
 
 
@@ -63,6 +64,7 @@ class TieringPolicy(abc.ABC):
 
     def __init__(self):
         self.stats = PolicyStats()
+        self.tracer: Tracer = NULL_TRACER
         self._machine: Machine | None = None
 
     # -- lifecycle --------------------------------------------------------
@@ -70,6 +72,14 @@ class TieringPolicy(abc.ABC):
     def attach(self, machine: Machine) -> None:
         """Bind to a machine.  Subclasses must call super().attach()."""
         self._machine = machine
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Install an observability tracer (before or after attach).
+
+        Subclasses owning instrumented components built at attach time
+        should override this to propagate the tracer to them.
+        """
+        self.tracer = tracer
 
     @property
     def machine(self) -> Machine:

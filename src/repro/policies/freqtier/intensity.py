@@ -17,6 +17,10 @@ paying off:
   epsilon from the reference ratio means the access distribution
   changed: sampling restarts at the highest level (Fig. 11 shows this
   detection within one window).
+
+State and level changes are emitted as ``state_transition`` /
+``level_change`` trace events through the controller's tracer (see
+:mod:`repro.obs`); pass a recording tracer to observe them.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs import NULL_TRACER, Tracer
 from repro.sampling.pebs import SamplingLevel
 from repro.sampling.perf_stat import PerfStatCounter
 
@@ -56,12 +61,13 @@ class IntensityController:
         self,
         stability_epsilon: float = 0.005,
         initial_level: SamplingLevel = SamplingLevel.HIGH,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.perf = PerfStatCounter(stability_epsilon=stability_epsilon)
         self.state = TieringState.SAMPLING
         self.level = SamplingLevel(initial_level)
         self._reference_ratio: float | None = None
-        self.transitions: list[tuple[float, str]] = []
+        self.tracer = tracer
 
     # -- events -----------------------------------------------------------
 
@@ -88,36 +94,75 @@ class IntensityController:
             return
         if self.perf.is_stable():
             if self.level > SamplingLevel.LOW:
-                self.level = SamplingLevel(self.level - 1)
-                self._log(now_ns, f"level-down:{self.level.name}")
+                self._set_level(
+                    SamplingLevel(self.level - 1), now_ns, reason="stable"
+                )
             else:
                 self._enter_monitoring(now_ns, reason="stable-at-lowest")
         else:
             if self.level < SamplingLevel.HIGH:
-                self.level = SamplingLevel(self.level + 1)
-                self._log(now_ns, f"level-up:{self.level.name}")
+                self._set_level(
+                    SamplingLevel(self.level + 1), now_ns, reason="unstable"
+                )
 
     def _monitoring_step(self, ratio: float | None, now_ns: float) -> None:
-        if ratio is None or self._reference_ratio is None:
+        if ratio is None:
+            return
+        if self._reference_ratio is None:
+            # The window closed at monitoring entry can be empty (e.g.
+            # an empty-demotion-scan trigger before any traffic), so
+            # adopt the first ratio observed *while* monitoring as the
+            # reference -- otherwise the check below can never fire and
+            # the policy is stuck in monitoring mode for good.
+            self._reference_ratio = ratio
             return
         if abs(ratio - self._reference_ratio) > self.perf.stability_epsilon:
             # Distribution changed: back to full-rate sampling.
             self.state = TieringState.SAMPLING
             self.level = SamplingLevel.HIGH
             self._reference_ratio = None
-            self._log(now_ns, "resume-sampling:HIGH")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "state_transition",
+                    t_ns=now_ns,
+                    **{
+                        "from": TieringState.MONITORING.value,
+                        "to": TieringState.SAMPLING.value,
+                        "reason": "distribution-change",
+                        "level": self.level.name,
+                    },
+                )
 
     def _enter_monitoring(self, now_ns: float, reason: str) -> None:
         self.state = TieringState.MONITORING
         self.level = SamplingLevel.OFF
         self._reference_ratio = self.perf.last_window_hit_ratio
-        self._log(now_ns, f"monitoring:{reason}")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "state_transition",
+                t_ns=now_ns,
+                **{
+                    "from": TieringState.SAMPLING.value,
+                    "to": TieringState.MONITORING.value,
+                    "reason": reason,
+                    "level": self.level.name,
+                },
+            )
+
+    def _set_level(
+        self, level: SamplingLevel, now_ns: float, reason: str
+    ) -> None:
+        old = self.level
+        self.level = level
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "level_change",
+                t_ns=now_ns,
+                **{"from": old.name, "to": level.name, "reason": reason},
+            )
 
     # -- queries ---------------------------------------------------------------
 
     @property
     def sampling_active(self) -> bool:
         return self.state == TieringState.SAMPLING
-
-    def _log(self, now_ns: float, event: str) -> None:
-        self.transitions.append((now_ns, event))

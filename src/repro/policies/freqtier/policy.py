@@ -18,6 +18,7 @@ from repro.cbf.cbf import CountingBloomFilter
 from repro.cbf.coalescing import SampleCoalescer
 from repro.memsim.machine import Machine
 from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
+from repro.obs import Tracer
 from repro.policies.base import TieringPolicy
 from repro.policies.freqtier.config import FreqTierConfig
 from repro.policies.freqtier.intensity import (
@@ -57,6 +58,11 @@ class FreqTier(TieringPolicy):
         self._samples_since_aging = 0
 
     # -- lifecycle --------------------------------------------------------
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        super().set_tracer(tracer)
+        if self.intensity is not None:
+            self.intensity.tracer = tracer
 
     # -- tracking-unit translation (granularity_pages) -----------------
 
@@ -99,8 +105,21 @@ class FreqTier(TieringPolicy):
             seed=self.seed + 1,
         )
         self.intensity = IntensityController(
-            stability_epsilon=cfg.stability_epsilon
+            stability_epsilon=cfg.stability_epsilon, tracer=self.tracer
         )
+        if self.tracer.enabled:
+            # Traces are self-describing: record the initial state so
+            # timeline reconstruction needs no out-of-band knowledge.
+            self.tracer.emit(
+                "state_transition",
+                t_ns=0.0,
+                **{
+                    "from": "init",
+                    "to": self.intensity.state.value,
+                    "reason": "attach",
+                    "level": self.intensity.level.name,
+                },
+            )
         self.threshold_ctl = HotThresholdController(
             self.cbf,
             tracked_capacity,
@@ -163,7 +182,33 @@ class FreqTier(TieringPolicy):
             empty_demotion_scan=self._empty_scan_in_window,
             processing_rounds=self._rounds_in_window,
         )
+        was_sampling = self.intensity.sampling_active
         self.intensity.end_window(report, now_ns)
+        if was_sampling and not self.intensity.sampling_active:
+            # Entering monitoring mode: samples still buffered in the
+            # ring were taken against the current placement, which can
+            # be arbitrarily stale by the time sampling resumes --
+            # discard them (counted as lost) instead of replaying them
+            # later.
+            flushed = self.pebs.discard_pending()
+            if flushed and self.tracer.enabled:
+                self.tracer.count("samples_lost", flushed)
+                self.tracer.emit(
+                    "ring_overflow",
+                    t_ns=now_ns,
+                    lost=flushed,
+                    reason="monitoring-flush",
+                )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "window_close",
+                t_ns=now_ns,
+                hit_ratio=self.intensity.perf.last_window_hit_ratio,
+                pages_promoted=self._promoted_in_window,
+                processing_rounds=self._rounds_in_window,
+                state=self.intensity.state.value,
+                level=self.intensity.level.name,
+            )
         self._window_accesses = 0
         self._promoted_in_window = 0
         self._empty_scan_in_window = False
@@ -181,6 +226,14 @@ class FreqTier(TieringPolicy):
         )
         cfg = self.config
         samples = self.pebs.drain()
+        if samples.lost and self.tracer.enabled:
+            self.tracer.count("samples_lost", samples.lost)
+            self.tracer.emit(
+                "ring_overflow",
+                t_ns=now_ns,
+                lost=samples.lost,
+                reason="capacity",
+            )
         if samples.num_samples == 0:
             return 0.0
         self._rounds_in_window += 1
@@ -188,20 +241,36 @@ class FreqTier(TieringPolicy):
         unique_units, freqs = self.coalescer.ingest(unit_ids)
         overhead = unique_units.size * cfg.cbf_op_ns
         self.stats.samples_processed += samples.num_samples
+        if self.tracer.enabled:
+            self.tracer.count("cbf_ops", int(unique_units.size))
+            self.tracer.observe("sample_batch_size", samples.num_samples)
 
-        # Periodic aging keeps frequencies fresh (Section V-A).
+        # Periodic aging keeps frequencies fresh (Section V-A).  The
+        # interval is *subtracted*, not reset to zero: a sample batch
+        # larger than the interval leaves its remainder behind, so the
+        # long-run aging cadence stays one aging per
+        # ``aging_interval_samples`` regardless of batch size.
         self._samples_since_aging += samples.num_samples
         if self._samples_since_aging >= cfg.aging_interval_samples:
             self.cbf.age()
-            self._samples_since_aging = 0
+            self._samples_since_aging -= cfg.aging_interval_samples
+            if self.tracer.enabled:
+                self.tracer.count("agings")
+                self.tracer.emit(
+                    "aging", t_ns=now_ns, samples=samples.num_samples
+                )
 
         threshold = self.threshold_ctl.threshold
         hot_mask = freqs >= threshold
         hot_units = unique_units[hot_mask].astype(np.int64)
         if hot_units.size:
             # Hottest first: if local DRAM cannot absorb the whole
-            # batch, the most frequent units win the free slots.
-            order = np.argsort(freqs[hot_mask])[::-1]
+            # batch, the most frequent units win the free slots.  The
+            # stable sort on negated frequencies keeps tied units in
+            # coalescer order, making the promotion set deterministic.
+            order = np.argsort(
+                -freqs[hot_mask].astype(np.int64), kind="stable"
+            )
             hot = self._pages_of_units(hot_units[order])
             # Guard against units extending past the mapped space.
             hot = hot[hot < self.machine.config.total_capacity_pages]
@@ -214,6 +283,14 @@ class FreqTier(TieringPolicy):
                     overhead += cfg.effective_move_pages_ns
                     self._promoted_in_window += promoted
                     self._record_migrations(promoted, 0)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "promotion",
+                        t_ns=now_ns,
+                        candidates=int(candidates.size),
+                        promoted=int(promoted),
+                        threshold=int(threshold),
+                    )
 
         # One control step per processing round (Section V-C(a)).
         self.threshold_ctl.update()
@@ -252,6 +329,7 @@ class FreqTier(TieringPolicy):
         to_demote: list[np.ndarray] = []
         collected = 0
         scanned = 0
+        chunks = 0
         scan_limit = space.total_pages  # one full pass at most per call
         while (
             machine.local_free_pages + collected < target_free_pages
@@ -263,6 +341,7 @@ class FreqTier(TieringPolicy):
             if chunk.size == 0:
                 break
             scanned += int(chunk.size)
+            chunks += 1
             # scan_from only yields pages of mapped regions, which are
             # in-bounds by construction -- skip the per-chunk re-check.
             placement = table.pagemap_read_batch(chunk, check=False)
@@ -282,6 +361,7 @@ class FreqTier(TieringPolicy):
                     to_demote.append(cold)
                     collected += int(cold.size)
 
+        demoted = 0
         if to_demote:
             demoted = machine.demote(np.concatenate(to_demote))
             if demoted:
@@ -290,6 +370,16 @@ class FreqTier(TieringPolicy):
         elif scanned >= scan_limit:
             # A full pass found nothing cold: local DRAM is all hot.
             self._empty_scan_in_window = True
+        if self.tracer.enabled:
+            self.tracer.count("scan_chunks", chunks)
+            self.tracer.count("scan_pages", scanned)
+            self.tracer.emit(
+                "demotion_scan",
+                chunks=chunks,
+                scanned=scanned,
+                demoted=int(demoted),
+                empty=bool(scanned >= scan_limit and not to_demote),
+            )
         return overhead
 
     # -- introspection ----------------------------------------------------------------------

@@ -161,6 +161,24 @@ class PEBSSampler:
         self._lost = 0
         return out
 
+    def discard_pending(self) -> int:
+        """Drop all buffered samples, counting them as lost.
+
+        Used on the SAMPLING -> MONITORING transition: samples left in
+        the ring were taken against placements that may have changed by
+        the time sampling resumes, so replaying them later would feed
+        the CBF stale hotness.  Returns the number discarded.
+        """
+        discarded = self._pending_count
+        self._pending_pages.clear()
+        self._pending_tiers.clear()
+        self._pending_count = 0
+        # Goes straight to total_lost, not the per-drain carry: the
+        # caller reports the discard itself, and routing it through the
+        # next drain() would double-count it as a capacity overflow.
+        self.total_lost += discarded
+        return discarded
+
     # -- overhead accounting ------------------------------------------------------
 
     def overhead_ns(self, num_samples: int) -> float:

@@ -26,7 +26,6 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro._units import PAGE_SIZE
 from repro.memsim.machine import Machine
 from repro.sampling.events import AccessBatch
 from repro.workloads.spec import Workload

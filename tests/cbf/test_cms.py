@@ -1,7 +1,6 @@
 """Tests for the Count-Min Sketch variant."""
 
 import numpy as np
-import pytest
 
 from repro.cbf.cbf import CountingBloomFilter
 from repro.cbf.cms import CountMinSketch

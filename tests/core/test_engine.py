@@ -1,7 +1,5 @@
 """Tests for the simulation engine."""
 
-import numpy as np
-import pytest
 
 from repro.core.engine import SimulationEngine
 from repro.memsim.machine import Machine, MachineConfig

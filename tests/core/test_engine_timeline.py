@@ -1,6 +1,5 @@
 """Timeline and accounting details of the engine + metrics pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core.engine import SimulationEngine

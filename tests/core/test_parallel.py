@@ -157,3 +157,91 @@ def test_closure_cells_have_no_fingerprint():
         CellSpec(WORKLOAD, lambda: None, CONFIG).fingerprint() is None
     )
     assert CellSpec(WORKLOAD, None, CONFIG).fingerprint() is not None
+
+
+class TestPerCellTraces:
+    def test_each_cell_writes_its_own_trace(self, tmp_path):
+        specs = [
+            CellSpec(
+                WORKLOAD,
+                POLICIES["FreqTier"],
+                CONFIG,
+                label="ft",
+                trace_path=str(tmp_path / "ft.jsonl"),
+            ),
+            CellSpec(
+                WORKLOAD,
+                POLICIES["TPP"],
+                CONFIG,
+                label="tpp",
+                trace_path=str(tmp_path / "tpp.jsonl"),
+            ),
+        ]
+        ParallelExecutor(jobs=2).run(specs)
+        from repro.analysis.tracetool import validate_trace
+
+        for name in ("ft.jsonl", "tpp.jsonl"):
+            validation = validate_trace(tmp_path / name)
+            assert validation.ok
+            assert any(e["type"] == "batch" for e in validation.events)
+
+    def test_trace_path_excluded_from_fingerprint(self, tmp_path):
+        plain = CellSpec(WORKLOAD, POLICIES["FreqTier"], CONFIG)
+        traced = CellSpec(
+            WORKLOAD,
+            POLICIES["FreqTier"],
+            CONFIG,
+            trace_path=str(tmp_path / "t.jsonl"),
+        )
+        assert plain.fingerprint() == traced.fingerprint()
+
+    def test_cache_hit_leaves_cache_hit_event(self, tmp_path):
+        from repro.analysis.tracetool import read_events
+
+        executor = ParallelExecutor(jobs=1, cache=tmp_path / "cache")
+        cold = CellSpec(
+            WORKLOAD,
+            POLICIES["TPP"],
+            CONFIG,
+            label="tpp",
+            trace_path=str(tmp_path / "cold.jsonl"),
+        )
+        warm = CellSpec(
+            WORKLOAD,
+            POLICIES["TPP"],
+            CONFIG,
+            label="tpp",
+            trace_path=str(tmp_path / "warm.jsonl"),
+        )
+        first = executor.run_one(cold)
+        second = executor.run_one(warm)
+        assert executor.stats.cache_hits == 1
+        assert first.to_dict() == second.to_dict()
+        # The cold run traced real simulation events...
+        assert any(e["type"] == "batch" for e in read_events(cold.trace_path))
+        # ...the warm run traced exactly one cache_hit.
+        warm_events = read_events(warm.trace_path)
+        assert len(warm_events) == 1
+        assert warm_events[0]["type"] == "cache_hit"
+        assert warm_events[0]["label"] == "tpp"
+        assert warm_events[0]["fingerprint"] == warm.fingerprint()
+
+    def test_untraced_cache_hit_writes_nothing(self, tmp_path):
+        executor = ParallelExecutor(jobs=1, cache=tmp_path / "cache")
+        spec = CellSpec(WORKLOAD, POLICIES["TPP"], CONFIG)
+        executor.run_one(spec)
+        executor.run_one(spec)
+        assert executor.stats.cache_hits == 1
+        assert not list(tmp_path.glob("*.jsonl"))
+
+    def test_tracer_with_executor_rejected(self):
+        from repro.obs import Tracer
+
+        with pytest.raises(ValueError, match="trace_path"):
+            run_experiment(
+                WORKLOAD,
+                POLICIES["TPP"],
+                CONFIG,
+                tracer=Tracer(),
+                executor=ParallelExecutor(jobs=1),
+            )

@@ -12,7 +12,6 @@ from repro import (
     CDN_PROFILE,
     ExperimentConfig,
     FreqTier,
-    FreqTierConfig,
     HeMem,
     SOCIAL_PROFILE,
     TPP,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro._units import PAGE_SIZE
 from repro.memsim.costmodel import CostModel, CostModelParams
 from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
 

@@ -73,7 +73,7 @@ class TestInterleaveVsTiering:
     def test_tiering_beats_interleave_on_skew(self):
         """For skewed, latency-sensitive workloads the paper's whole
         premise holds: placing hot pages local beats striping."""
-        from repro import ExperimentConfig, FreqTier, FreqTierConfig
+        from repro import FreqTier, FreqTierConfig
         from repro.core.engine import SimulationEngine
         from repro.policies.static_policy import StaticNoMigration
         from repro.workloads.trace import SyntheticZipfWorkload

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.memsim.machine import CapacityError, Machine, MachineConfig
-from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
+from repro.memsim.pagetable import LOCAL_TIER
 
 
 class TestConfigValidation:

@@ -1,0 +1,77 @@
+"""Tests for the trace event schema."""
+
+import pytest
+
+from repro.obs.events import (
+    BASE_FIELDS,
+    EVENT_TYPES,
+    TraceEventError,
+    validate_event,
+)
+
+
+def good(etype: str) -> dict:
+    """A minimal valid event of the given type."""
+    event = {"type": etype, "t_ns": 1.0, "seq": 0}
+    for field in EVENT_TYPES[etype]:
+        event[field] = 0
+    return event
+
+
+class TestValidateEvent:
+    @pytest.mark.parametrize("etype", sorted(EVENT_TYPES))
+    def test_minimal_event_of_every_type_passes(self, etype):
+        validate_event(good(etype))
+
+    def test_extra_fields_allowed(self):
+        event = good("aging")
+        event["annotation"] = "extra payload is fine"
+        validate_event(event)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TraceEventError, match="must be a dict"):
+            validate_event(["type", "aging"])
+
+    def test_unknown_type_rejected(self):
+        event = good("aging")
+        event["type"] = "frobnicate"
+        with pytest.raises(TraceEventError, match="unknown event type"):
+            validate_event(event)
+
+    def test_missing_base_field_rejected(self):
+        event = good("aging")
+        del event["seq"]
+        with pytest.raises(TraceEventError, match="base fields"):
+            validate_event(event)
+
+    @pytest.mark.parametrize("etype", sorted(EVENT_TYPES))
+    def test_each_required_payload_field_enforced(self, etype):
+        for field in EVENT_TYPES[etype]:
+            event = good(etype)
+            del event[field]
+            with pytest.raises(TraceEventError, match="missing fields"):
+                validate_event(event)
+
+    def test_non_numeric_t_ns_rejected(self):
+        event = good("aging")
+        event["t_ns"] = "now"
+        with pytest.raises(TraceEventError, match="t_ns"):
+            validate_event(event)
+
+    def test_bool_timestamp_rejected(self):
+        event = good("aging")
+        event["t_ns"] = True
+        with pytest.raises(TraceEventError, match="t_ns"):
+            validate_event(event)
+
+    def test_non_int_seq_rejected(self):
+        event = good("aging")
+        event["seq"] = 1.5
+        with pytest.raises(TraceEventError, match="seq"):
+            validate_event(event)
+
+
+class TestSchemaShape:
+    def test_base_fields_never_in_payload_sets(self):
+        for etype, fields in EVENT_TYPES.items():
+            assert not fields & BASE_FIELDS, etype

@@ -1,0 +1,66 @@
+"""Tests for the counter and histogram registries."""
+
+import pytest
+
+from repro.obs.registry import CounterRegistry, HistogramRegistry
+
+
+class TestCounterRegistry:
+    def test_missing_counter_reads_zero(self):
+        reg = CounterRegistry()
+        assert reg.get("nope") == 0
+        assert len(reg) == 0
+
+    def test_inc_accumulates(self):
+        reg = CounterRegistry()
+        reg.inc("ops")
+        reg.inc("ops", 4)
+        assert reg.get("ops") == 5
+        assert reg.as_dict() == {"ops": 5}
+
+    def test_negative_increment_rejected(self):
+        reg = CounterRegistry()
+        with pytest.raises(ValueError, match=">= 0"):
+            reg.inc("ops", -1)
+
+    def test_as_dict_is_a_copy(self):
+        reg = CounterRegistry()
+        reg.inc("ops")
+        reg.as_dict()["ops"] = 999
+        assert reg.get("ops") == 1
+
+
+class TestHistogramRegistry:
+    def test_summary_of_missing_histogram_is_none(self):
+        assert HistogramRegistry().summary("nope") is None
+
+    def test_streaming_stats(self):
+        reg = HistogramRegistry()
+        for v in (4.0, 1.0, 7.0):
+            reg.observe("batch", v)
+        assert reg.summary("batch") == {
+            "count": 3,
+            "sum": 12.0,
+            "min": 1.0,
+            "max": 7.0,
+            "mean": 4.0,
+        }
+
+    def test_nan_rejected(self):
+        reg = HistogramRegistry()
+        with pytest.raises(ValueError, match="NaN"):
+            reg.observe("batch", float("nan"))
+
+    def test_as_dict_flattens_names(self):
+        reg = HistogramRegistry()
+        reg.observe("batch", 2.0)
+        flat = reg.as_dict()
+        assert flat["batch_count"] == 1
+        assert flat["batch_mean"] == 2.0
+        assert set(flat) == {
+            "batch_count",
+            "batch_sum",
+            "batch_min",
+            "batch_max",
+            "batch_mean",
+        }

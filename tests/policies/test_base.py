@@ -1,11 +1,9 @@
 """Tests for the policy base class and stats."""
 
-import numpy as np
 import pytest
 
 from repro.memsim.machine import Machine, MachineConfig
 from repro.policies.base import PolicyStats, TieringPolicy
-from repro.sampling.events import AccessBatch
 
 
 class _Recorder(TieringPolicy):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs import ListSink, Tracer
 from repro.policies.freqtier.intensity import (
     IntensityController,
     TieringState,
@@ -21,6 +22,13 @@ def window(promoted=10, empty_scan=False, rounds=1) -> WindowReport:
 
 def feed_stable(ctl: IntensityController, local=900, cxl=100):
     ctl.count_accesses(local, cxl)
+
+
+def traced_controller(**kwargs) -> tuple[IntensityController, ListSink]:
+    """Controller wired to a recording tracer (the transitions log)."""
+    sink = ListSink()
+    ctl = IntensityController(tracer=Tracer(sinks=[sink]), **kwargs)
+    return ctl, sink
 
 
 class TestLevelLadder:
@@ -76,11 +84,14 @@ class TestLevelLadder:
 
 class TestMonitoringTriggers:
     def test_promotion_plateau_enters_monitoring(self):
-        ctl = IntensityController()
+        ctl, sink = traced_controller()
         feed_stable(ctl)
         ctl.end_window(window(promoted=0, rounds=3), 0.0)
         assert ctl.state == TieringState.MONITORING
-        assert any("plateau" in e for __, e in ctl.transitions)
+        assert any(
+            e["reason"] == "promotion-plateau"
+            for e in sink.of_type("state_transition")
+        )
 
     def test_plateau_requires_processing_rounds(self):
         """No promotion pass ran -> not a plateau (e.g. first window)."""
@@ -90,11 +101,14 @@ class TestMonitoringTriggers:
         assert ctl.state == TieringState.SAMPLING
 
     def test_empty_demotion_scan_enters_monitoring(self):
-        ctl = IntensityController()
+        ctl, sink = traced_controller()
         feed_stable(ctl)
         ctl.end_window(window(empty_scan=True), 0.0)
         assert ctl.state == TieringState.MONITORING
-        assert any("empty-demotion-scan" in e for __, e in ctl.transitions)
+        assert any(
+            e["reason"] == "empty-demotion-scan"
+            for e in sink.of_type("state_transition")
+        )
 
 
 class TestMonitoringMode:
@@ -105,6 +119,13 @@ class TestMonitoringMode:
         assert ctl.state == TieringState.MONITORING
         return ctl
 
+    def make_traced_monitoring(self) -> tuple[IntensityController, "ListSink"]:
+        ctl, sink = traced_controller()
+        feed_stable(ctl)
+        ctl.end_window(window(promoted=0, rounds=1), 0.0)
+        assert ctl.state == TieringState.MONITORING
+        return ctl, sink
+
     def test_stays_monitoring_while_stable(self):
         ctl = self.make_monitoring()
         for __ in range(5):
@@ -114,12 +135,19 @@ class TestMonitoringMode:
 
     def test_distribution_change_resumes_sampling_at_high(self):
         """Paper Fig. 11: monitoring detects the shift and re-arms."""
-        ctl = self.make_monitoring()
+        ctl, sink = self.make_traced_monitoring()
         ctl.count_accesses(300, 700)  # hit ratio collapsed
         ctl.end_window(window(), now_ns=42.0)
         assert ctl.state == TieringState.SAMPLING
         assert ctl.level == SamplingLevel.HIGH
-        assert any("resume-sampling" in e for __, e in ctl.transitions)
+        resumes = [
+            e
+            for e in sink.of_type("state_transition")
+            if e["to"] == "sampling"
+        ]
+        assert len(resumes) == 1
+        assert resumes[0]["reason"] == "distribution-change"
+        assert resumes[0]["t_ns"] == 42.0
 
     def test_empty_monitoring_window_is_ignored(self):
         ctl = self.make_monitoring()
@@ -131,3 +159,90 @@ class TestMonitoringMode:
         assert ctl.sampling_active
         ctl2 = self.make_monitoring()
         assert not ctl2.sampling_active
+
+
+class TestTraceEvents:
+    def test_level_changes_emitted(self):
+        ctl, sink = traced_controller()
+        for __ in range(3):
+            feed_stable(ctl)
+            ctl.end_window(window(), 0.0)
+        downs = sink.of_type("level_change")
+        assert [(e["from"], e["to"]) for e in downs] == [
+            ("HIGH", "MEDIUM"),
+            ("MEDIUM", "LOW"),
+        ]
+        assert all(e["reason"] == "stable" for e in downs)
+
+    def test_level_up_emitted_on_instability(self):
+        ctl, sink = traced_controller()
+        for __ in range(3):
+            feed_stable(ctl)
+            ctl.end_window(window(), 0.0)
+        ctl.count_accesses(500, 500)
+        ctl.end_window(window(), 0.0)
+        last = sink.of_type("level_change")[-1]
+        assert (last["from"], last["to"], last["reason"]) == (
+            "LOW",
+            "MEDIUM",
+            "unstable",
+        )
+
+    def test_default_tracer_is_noop(self):
+        ctl = IntensityController()
+        feed_stable(ctl)
+        ctl.end_window(window(empty_scan=True), 0.0)
+        assert ctl.state == TieringState.MONITORING  # no tracer needed
+
+
+class TestMonitoringDeadlockRegression:
+    """The None-reference monitoring deadlock (pre-fix: stuck forever).
+
+    Entering monitoring mode off a window that closed empty (e.g. an
+    empty-demotion-scan trigger before any window saw traffic) used to
+    store ``None`` as the reference hit ratio; ``_monitoring_step``
+    then early-returned on every later window and sampling never
+    resumed.  The fix adopts the first non-None ratio observed while
+    monitoring as the reference.
+    """
+
+    def enter_with_none_reference(self):
+        ctl, sink = traced_controller()
+        # No traffic before entry: the closed window has no hit ratio.
+        ctl.end_window(window(empty_scan=True), 0.0)
+        assert ctl.state == TieringState.MONITORING
+        assert ctl._reference_ratio is None
+        return ctl, sink
+
+    def test_first_ratio_becomes_reference_not_a_resume(self):
+        ctl, __ = self.enter_with_none_reference()
+        ctl.count_accesses(900, 100)
+        ctl.end_window(window(), 1.0)
+        assert ctl.state == TieringState.MONITORING
+        assert ctl._reference_ratio == pytest.approx(0.9)
+
+    def test_policy_resumes_sampling_after_distribution_change(self):
+        ctl, sink = self.enter_with_none_reference()
+        ctl.count_accesses(900, 100)
+        ctl.end_window(window(), 1.0)  # adopted as reference
+        ctl.count_accesses(100, 900)
+        ctl.end_window(window(), 2.0)  # deviates: must resume
+        assert ctl.state == TieringState.SAMPLING
+        assert ctl.level == SamplingLevel.HIGH
+        assert any(
+            e["to"] == "sampling" for e in sink.of_type("state_transition")
+        )
+
+    def test_stable_ratio_after_adoption_keeps_monitoring(self):
+        ctl, __ = self.enter_with_none_reference()
+        for now in range(1, 6):
+            ctl.count_accesses(900, 100)
+            ctl.end_window(window(), float(now))
+        assert ctl.state == TieringState.MONITORING
+
+    def test_empty_windows_while_monitoring_still_ignored(self):
+        ctl, __ = self.enter_with_none_reference()
+        for now in range(1, 4):
+            ctl.end_window(window(), float(now))  # no traffic at all
+        assert ctl.state == TieringState.MONITORING
+        assert ctl._reference_ratio is None

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.memsim.machine import Machine, MachineConfig
-from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
+from repro.memsim.pagetable import LOCAL_TIER
 from repro.policies.tpp import TPP
 from repro.sampling.events import AccessBatch
 

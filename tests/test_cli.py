@@ -208,3 +208,76 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTracing:
+    def run_traced(self, capsys, tmp_path) -> str:
+        trace_path = str(tmp_path / "run.jsonl")
+        run_cli(
+            capsys,
+            "run",
+            "--workload",
+            "zipf",
+            "--policy",
+            "freqtier",
+            "--batches",
+            "40",
+            "--trace",
+            trace_path,
+        )
+        return trace_path
+
+    def test_run_trace_is_schema_valid(self, capsys, tmp_path):
+        from repro.analysis.tracetool import validate_trace
+
+        validation = validate_trace(self.run_traced(capsys, tmp_path))
+        assert validation.ok
+        assert validation.num_lines > 0
+        types = {e["type"] for e in validation.events}
+        assert "batch" in types
+        assert "state_transition" in types
+        assert "promotion" in types
+
+    def test_trace_validate_subcommand(self, capsys, tmp_path):
+        trace_path = self.run_traced(capsys, tmp_path)
+        out = run_cli(capsys, "trace", "validate", trace_path)
+        assert "OK" in out
+
+    def test_trace_validate_fails_on_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "nope", "t_ns": 0.0, "seq": 0}\n')
+        assert main(["trace", "validate", str(bad)]) == 1
+
+    def test_trace_summarize_subcommand(self, capsys, tmp_path):
+        trace_path = self.run_traced(capsys, tmp_path)
+        out = run_cli(capsys, "trace", "summarize", trace_path)
+        assert "events:" in out
+        assert "state/level timeline" in out
+
+    def test_trace_summarize_json(self, capsys, tmp_path):
+        trace_path = self.run_traced(capsys, tmp_path)
+        out = run_cli(capsys, "trace", "summarize", trace_path, "--json")
+        data = json.loads(out)
+        assert data["num_events"] > 0
+        assert data["event_counts"]["batch"] == 40
+
+    def test_compare_writes_per_policy_traces(self, capsys, tmp_path):
+        from repro.analysis.tracetool import validate_trace
+
+        trace_dir = tmp_path / "traces"
+        run_cli(
+            capsys,
+            "compare",
+            "--workload",
+            "zipf",
+            "--batches",
+            "5",
+            "--policies",
+            "freqtier,static",
+            "--trace",
+            str(trace_dir),
+        )
+        for name in ("AllLocal", "freqtier", "static"):
+            validation = validate_trace(trace_dir / f"{name}.jsonl")
+            assert validation.ok, name
+            assert validation.num_lines > 0, name

@@ -1,6 +1,5 @@
 """Tests for the multi-host CXL pooling extension (Section VIII-b)."""
 
-import numpy as np
 import pytest
 
 from repro.policies.freqtier import FreqTier, FreqTierConfig

@@ -7,11 +7,9 @@ Kronecker graphs, so trace realism rests on correct algorithms.
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.memsim.machine import Machine, MachineConfig
 from repro.workloads.gap import GapWorkload
-from repro.workloads.kronecker import generate_kronecker
 
 
 def to_networkx(graph) -> nx.Graph:
