@@ -44,7 +44,7 @@ class SampledLFU(TieringPolicy):
         self.pebs.set_level(SamplingLevel.HIGH)
         self._since_replace = 0
 
-    def on_batch(self, batch, tiers, now_ns: float) -> float:
+    def on_batch(self, batch, tiers, now_ns: float, counts=None) -> float:
         self.pebs.observe(batch, tiers)
         overhead = 0.0
         self._since_replace += batch.num_accesses

@@ -1,0 +1,376 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks with a perf-regression guard.
+
+Times each component of the simulator's per-batch inner loop in
+isolation -- hashing, CBF bulk increase, PEBS sampler observe at each
+level, Zipf drawing/churn, page-table placement lookups -- plus one
+end-to-end FreqTier run on the CacheLib CDN bench-grid workload, and
+writes ``BENCH_hotpath.json`` so successive PRs can track per-component
+cost (ns/op) and the sampler's RNG economy (uniforms drawn per offered
+access).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_hotpath.py                  # full run
+    PYTHONPATH=src python scripts/bench_hotpath.py --smoke          # CI-sized
+    PYTHONPATH=src python scripts/bench_hotpath.py --smoke \\
+        --check BENCH_hotpath.json                                  # guard
+
+``--check BASELINE`` validates both records against the schema and
+fails (exit 1) if any shared component's ns/op regressed more than
+``--tolerance`` (default 2.0x) against the baseline, or if the
+sampler's RNG reduction at MEDIUM/LOW fell below ``--min-rng-reduction``
+(default 5x).  ``--before BEFORE.json`` embeds a pre-optimization
+record and reports speedups against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.cbf.cbf import CountingBloomFilter  # noqa: E402
+from repro.cbf.hashing import derive_indices  # noqa: E402
+from repro.core.config import ExperimentConfig  # noqa: E402
+from repro.core.parallel import PolicySpec, WorkloadSpec  # noqa: E402
+from repro.core.runner import run_experiment  # noqa: E402
+from repro.memsim.pagetable import LOCAL_TIER, PageTable  # noqa: E402
+from repro.sampling.events import AccessBatch  # noqa: E402
+from repro.sampling.pebs import PEBSSampler, SamplingLevel  # noqa: E402
+from repro.workloads.zipfian import ZipfianSampler  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Required fields of every per-component record.
+_COMPONENT_FIELDS = {"ns_per_op": float, "ops": int, "reps": int, "seconds_best": float}
+_RNG_FIELDS = {"offered": int, "drawn": int, "reduction_x": float}
+
+
+# ---------------------------------------------------------------------------
+# timing helper
+# ---------------------------------------------------------------------------
+
+
+def _timed(fn, ops: int, reps: int) -> dict:
+    """Best-of-``reps`` timing of ``fn`` normalized to ns per ``op``."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "ns_per_op": round(best * 1e9 / max(ops, 1), 3),
+        "ops": int(ops),
+        "reps": int(reps),
+        "seconds_best": round(best, 6),
+    }
+
+
+# ---------------------------------------------------------------------------
+# components
+# ---------------------------------------------------------------------------
+
+
+def bench_hashing(scale: int, reps: int) -> dict:
+    n = 200_000 * scale
+    keys = np.random.default_rng(0).integers(0, 1 << 40, size=n, dtype=np.uint64)
+    return _timed(lambda: derive_indices(keys, 3, 1_048_573, seed=7), n, reps)
+
+
+def bench_cbf_increase(scale: int, reps: int) -> dict:
+    n = 50_000 * scale
+    # Skewed keys: many duplicates per batch, like coalesced PEBS samples.
+    rng = np.random.default_rng(1)
+    keys = (rng.zipf(1.2, size=n) % 65_536).astype(np.uint64)
+    amounts = np.ones(n, dtype=np.int64)
+    cbf = CountingBloomFilter(262_144, num_hashes=3, bits=4, seed=3)
+    return _timed(lambda: cbf.increase(keys, amounts), n, reps)
+
+
+def bench_pebs_observe(
+    level: SamplingLevel, scale: int, reps: int
+) -> tuple[dict, dict]:
+    """Time ``observe`` and account RNG draws at one sampling level."""
+    n_batches = 20 * scale
+    batch_accesses = 100_000
+    pages = np.random.default_rng(2).integers(
+        0, 1 << 20, size=batch_accesses, dtype=np.int64
+    )
+    batch = AccessBatch(page_ids=pages, num_ops=1.0, cpu_ns=0.0)
+    tiers = np.zeros(batch_accesses, dtype=np.int8)
+
+    def run() -> PEBSSampler:
+        sampler = PEBSSampler(base_period=64, seed=9)
+        sampler.set_level(level)
+        for _ in range(n_batches):
+            sampler.observe(batch, tiers)
+            sampler.drain()
+        return sampler
+
+    offered = n_batches * batch_accesses
+    record = _timed(run, offered, reps)
+    sampler = run()
+    # Pre-optimization samplers draw one uniform per offered access and
+    # expose no draw counter; report that exactly.
+    drawn = int(getattr(sampler, "rng_values_drawn", offered))
+    rng_record = {
+        "offered": int(offered),
+        "drawn": drawn,
+        "reduction_x": round(offered / max(drawn, 1), 2),
+    }
+    return record, rng_record
+
+
+def bench_zipf_draw(scale: int, reps: int) -> dict:
+    n = 200_000 * scale
+    z = ZipfianSampler(1_000_000, 0.9, seed=4)
+    return _timed(lambda: z.sample(n), n, reps)
+
+
+def bench_zipf_reassign(scale: int, reps: int) -> dict:
+    n = 20_000 * scale
+    z = ZipfianSampler(500_000, 0.9, seed=5)
+    return _timed(lambda: z.reassign_ranks(n), n, reps)
+
+
+def bench_pagetable_tier_of(scale: int, reps: int) -> dict:
+    n = 200_000 * scale
+    table = PageTable(1 << 20)
+    all_pages = np.arange(1 << 20, dtype=np.int64)
+    table.place(all_pages[: 1 << 19], LOCAL_TIER)
+    lookup = np.random.default_rng(6).integers(0, 1 << 20, size=n, dtype=np.int64)
+    return _timed(lambda: table.tier_of(lookup), n, reps)
+
+
+def bench_pagetable_place(scale: int, reps: int) -> dict:
+    n = 50_000 * scale
+    table = PageTable(1 << 20)
+    pages = np.random.default_rng(8).permutation(1 << 20)[:n].astype(np.int64)
+
+    def run() -> None:
+        table.place(pages, LOCAL_TIER)
+        table.unmap(pages)
+
+    return _timed(run, 2 * n, reps)
+
+
+def bench_engine_cdn(scale: int, reps: int) -> dict:
+    """End-to-end FreqTier cell on the bench-grid CDN workload."""
+    batches = 30 * scale
+    config = ExperimentConfig(
+        local_fraction=0.12,
+        ratio_label="1:16",
+        max_batches=batches,
+        seed=1,
+    )
+    workload = WorkloadSpec("cdn", slab_pages=16_384, ops_per_batch=10_000, seed=1)
+    policy = PolicySpec("freqtier", seed=1)
+    return _timed(
+        lambda: run_experiment(workload, policy, config), batches, max(1, reps - 1)
+    )
+
+
+# ---------------------------------------------------------------------------
+# record schema
+# ---------------------------------------------------------------------------
+
+
+def validate_record(record: dict) -> list[str]:
+    """Schema check for a BENCH_hotpath.json record; returns errors."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record is not an object"]
+    if record.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {record.get('schema_version')!r}"
+        )
+    components = record.get("components")
+    if not isinstance(components, dict) or not components:
+        errors.append("components must be a non-empty object")
+        components = {}
+    for name, comp in components.items():
+        if not isinstance(comp, dict):
+            errors.append(f"components[{name}] is not an object")
+            continue
+        for field, typ in _COMPONENT_FIELDS.items():
+            value = comp.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"components[{name}].{field} missing or non-numeric")
+            elif typ is int and int(value) != value:
+                errors.append(f"components[{name}].{field} must be integral")
+    sampler_rng = record.get("sampler_rng")
+    if not isinstance(sampler_rng, dict) or not sampler_rng:
+        errors.append("sampler_rng must be a non-empty object")
+        sampler_rng = {}
+    for level, rec in sampler_rng.items():
+        if not isinstance(rec, dict):
+            errors.append(f"sampler_rng[{level}] is not an object")
+            continue
+        for field in _RNG_FIELDS:
+            value = rec.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"sampler_rng[{level}].{field} missing or non-numeric")
+    return errors
+
+
+def check_regressions(
+    record: dict, baseline: dict, tolerance: float, min_rng_reduction: float
+) -> list[str]:
+    """Compare a fresh record against a baseline; returns failures."""
+    failures: list[str] = []
+    base_components = baseline.get("components", {})
+    for name, comp in record.get("components", {}).items():
+        base = base_components.get(name)
+        if base is None:
+            continue  # new component: no baseline yet
+        now_ns, base_ns = comp["ns_per_op"], base["ns_per_op"]
+        if base_ns > 0 and now_ns > tolerance * base_ns:
+            failures.append(
+                f"{name}: {now_ns:.1f} ns/op vs baseline {base_ns:.1f} "
+                f"(> {tolerance:.1f}x)"
+            )
+    for level in ("MEDIUM", "LOW"):
+        rec = record.get("sampler_rng", {}).get(level)
+        if rec is not None and rec["reduction_x"] < min_rng_reduction:
+            failures.append(
+                f"sampler RNG reduction at {level} is {rec['reduction_x']:.1f}x "
+                f"(< required {min_rng_reduction:.1f}x)"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+
+def run_suite(smoke: bool) -> dict:
+    scale = 1 if smoke else 5
+    reps = 2 if smoke else 4
+    components: dict[str, dict] = {}
+    sampler_rng: dict[str, dict] = {}
+
+    print(f"hot-path suite ({'smoke' if smoke else 'full'}, scale={scale})")
+    components["hashing"] = bench_hashing(scale, reps)
+    components["cbf_increase"] = bench_cbf_increase(scale, reps)
+    for level in (SamplingLevel.HIGH, SamplingLevel.MEDIUM, SamplingLevel.LOW):
+        comp, rng_rec = bench_pebs_observe(level, scale, reps)
+        components[f"pebs_observe_{level.name.lower()}"] = comp
+        sampler_rng[level.name] = rng_rec
+    components["zipf_draw"] = bench_zipf_draw(scale, reps)
+    components["zipf_reassign"] = bench_zipf_reassign(scale, reps)
+    components["pagetable_tier_of"] = bench_pagetable_tier_of(scale, reps)
+    components["pagetable_place"] = bench_pagetable_place(scale, reps)
+    components["engine_cdn"] = bench_engine_cdn(scale, reps)
+
+    for name, comp in components.items():
+        print(f"  {name:24s} {comp['ns_per_op']:12.1f} ns/op")
+    for level, rec in sampler_rng.items():
+        print(
+            f"  rng@{level:6s} offered={rec['offered']:>9d} "
+            f"drawn={rec['drawn']:>9d}  reduction={rec['reduction_x']:.1f}x"
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "hot-path microbenchmarks",
+        "smoke": bool(smoke),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "components": components,
+        "sampler_rng": sampler_rng,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_hotpath.json"), help="output path"
+    )
+    parser.add_argument(
+        "--before", default=None, help="pre-optimization record to embed/compare"
+    )
+    parser.add_argument(
+        "--check", default=None, help="baseline record for the regression guard"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="max allowed ns/op ratio vs the --check baseline",
+    )
+    parser.add_argument(
+        "--min-rng-reduction",
+        type=float,
+        default=5.0,
+        help="required sampler RNG reduction at MEDIUM/LOW",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_suite(args.smoke)
+    errors = validate_record(record)
+    if errors:
+        print("ERROR: fresh record fails schema validation:", file=sys.stderr)
+        for err in errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 1
+
+    if args.before:
+        with open(args.before, encoding="utf-8") as fh:
+            before = json.load(fh)
+        record["before"] = {
+            "components": before.get("components", {}),
+            "sampler_rng": before.get("sampler_rng", {}),
+        }
+        speedups = {}
+        for name, comp in record["components"].items():
+            base = before.get("components", {}).get(name)
+            if base and comp["ns_per_op"] > 0:
+                speedups[name] = round(base["ns_per_op"] / comp["ns_per_op"], 2)
+        record["speedup_vs_before"] = speedups
+        for name, s in speedups.items():
+            print(f"  speedup {name:24s} {s:6.2f}x")
+
+    status = 0
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        base_errors = validate_record(baseline)
+        if base_errors:
+            print("ERROR: baseline fails schema validation:", file=sys.stderr)
+            for err in base_errors:
+                print(f"  - {err}", file=sys.stderr)
+            return 1
+        failures = check_regressions(
+            record, baseline, args.tolerance, args.min_rng_reduction
+        )
+        if failures:
+            print("PERF REGRESSIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"regression guard: all components within {args.tolerance:.1f}x  OK")
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

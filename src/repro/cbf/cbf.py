@@ -150,18 +150,18 @@ class CountingBloomFilter:
 
         idx = self._indices(uniq)  # (u, k); in-range by construction
         current = self._counters.get(idx, check=False)  # (u, k)
-        mins = current.min(axis=1, keepdims=True)
-        target = np.minimum(mins + totals[:, None], self.max_count)
-        # Conservative update: only counters below the new target rise
-        # to it; larger counters (inflated by other keys) are untouched.
-        rows, cols = np.nonzero(current < target)
-        if rows.size:
-            flat_idx = idx[rows, cols]
-            flat_target = np.broadcast_to(target, current.shape)[rows, cols]
-            # Multiple keys may share a slot within this batch; keep the
-            # maximum target per slot (never undercount).
-            order = np.argsort(flat_target, kind="stable")
-            self._counters.set(flat_idx[order], flat_target[order], check=False)
+        mins = current.min(axis=1)
+        target = np.minimum(mins + totals, self.max_count)
+        # Conservative update via scatter-max: a counter rises to the
+        # largest target among the keys mapping to it this batch and
+        # never falls, so counters already above their key's target
+        # (inflated by other keys) are untouched -- no sort needed to
+        # order colliding writes.
+        self._counters.maximum(
+            idx.ravel(),
+            np.broadcast_to(target[:, None], idx.shape).ravel(),
+            check=False,
+        )
 
         self.stats.increments += int(amt.sum())
         self.stats.slot_accesses += idx.size * 2  # read + write pass

@@ -88,7 +88,11 @@ class SimulationEngine:
             machine.traffic.record_accesses(n_local, n_cxl)
 
             migrated_before = machine.traffic.pages_migrated
-            overhead_ns = self.policy.on_batch(batch, tiers, self.now_ns)
+            # The (n_local, n_cxl) split rides along so policies do not
+            # re-scan ``tiers`` for counts the engine just computed.
+            overhead_ns = self.policy.on_batch(
+                batch, tiers, self.now_ns, counts=(n_local, n_cxl)
+            )
             migrated = machine.traffic.pages_migrated - migrated_before
             if tracer.enabled:
                 tracer.emit(

@@ -275,5 +275,9 @@ class Machine:
         return n_local, n_cxl
 
     def placement_of(self, page_ids: np.ndarray) -> np.ndarray:
-        """Vectorized tier lookup without traffic accounting."""
-        return self.page_table.tier_of(np.asarray(page_ids, dtype=np.int64))
+        """Vectorized tier lookup without traffic accounting.
+
+        Returns the page table's native int8 placement codes (no
+        widening copy; see :meth:`PageTable.tier_of`).
+        """
+        return self.page_table.tier_of(page_ids)

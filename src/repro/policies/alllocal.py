@@ -28,6 +28,10 @@ class AllLocal(TieringPolicy):
             pass
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         return 0.0

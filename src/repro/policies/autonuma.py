@@ -90,7 +90,11 @@ class AutoNUMA(TieringPolicy):
     # -- main hook ----------------------------------------------------------
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.scanner is not None and self._last_seen_ns is not None
         overhead = 0.0

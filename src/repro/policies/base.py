@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.memsim.machine import Machine
+from repro.memsim.pagetable import LOCAL_TIER
 from repro.obs import NULL_TRACER, Tracer
 from repro.sampling.events import AccessBatch
 
@@ -91,14 +92,34 @@ class TieringPolicy(abc.ABC):
 
     @abc.abstractmethod
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         """Observe one serviced access batch; return overhead in ns.
 
         ``tiers[i]`` is the tier that serviced ``batch.page_ids[i]``.
-        Any promotions/demotions the policy performs here are recorded
-        by the machine's traffic meter.
+        ``counts``, when given, is ``(n_local, n_cxl)`` for this batch
+        as already tallied by the engine -- policies that need the
+        split (e.g. FreqTier's intensity monitor) use it instead of
+        re-scanning ``tiers``.  Any promotions/demotions the policy
+        performs here are recorded by the machine's traffic meter.
         """
+
+    def _batch_counts(
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        counts: tuple[int, int] | None,
+    ) -> tuple[int, int]:
+        """The ``(n_local, n_cxl)`` split, scanning ``tiers`` only if
+        the caller did not supply it."""
+        if counts is not None:
+            return int(counts[0]), int(counts[1])
+        n_local = int(np.count_nonzero(np.asarray(tiers) == LOCAL_TIER))
+        return n_local, batch.num_accesses - n_local
 
     # -- shared helpers --------------------------------------------------------
 

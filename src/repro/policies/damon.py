@@ -84,7 +84,11 @@ class DAMONRegion(TieringPolicy):
     # -- main hook ----------------------------------------------------------
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         assert (
             self.pebs is not None

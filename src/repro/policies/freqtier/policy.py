@@ -134,11 +134,14 @@ class FreqTier(TieringPolicy):
     # -- main hook ----------------------------------------------------------
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.pebs is not None and self.intensity is not None
-        n_local = int(np.count_nonzero(tiers == LOCAL_TIER))
-        n_cxl = batch.num_accesses - n_local
+        n_local, n_cxl = self._batch_counts(batch, tiers, counts)
         self.intensity.count_accesses(n_local, n_cxl)
 
         overhead = 0.0

@@ -93,7 +93,11 @@ class HeMem(TieringPolicy):
     # -- main hook ----------------------------------------------------------
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.pebs is not None
         overhead = 0.0

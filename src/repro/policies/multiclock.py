@@ -50,7 +50,11 @@ class MultiClock(TieringPolicy):
         self._seen = np.zeros(machine.config.total_capacity_pages, dtype=np.int8)
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.pebs is not None and self._seen is not None
         overhead = 0.0

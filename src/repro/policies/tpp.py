@@ -80,7 +80,11 @@ class TPP(TieringPolicy):
         self._lru_snapshot = self._last_ref_ns.copy()
 
     def on_batch(
-        self, batch: AccessBatch, tiers: np.ndarray, now_ns: float
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray,
+        now_ns: float,
+        counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.scanner is not None and self._last_fault_ns is not None
         overhead = 0.0

@@ -126,7 +126,9 @@ class MultiHostSimulation:
             n_cxl = batch.num_accesses - n_local
             machine.traffic.record_accesses(n_local, n_cxl)
             migrated_before = machine.traffic.pages_migrated
-            overhead = host.spec.policy.on_batch(batch, tiers, engine.now_ns)
+            overhead = host.spec.policy.on_batch(
+                batch, tiers, engine.now_ns, counts=(n_local, n_cxl)
+            )
             migrated = machine.traffic.pages_migrated - migrated_before
             cost = machine.cost_model.batch_cost(
                 cpu_ns=batch.cpu_ns,

@@ -16,6 +16,22 @@ ring buffer is bounded (the paper sizes 512 KB per counter per core);
 samples beyond its capacity within one drain interval are lost, which
 matters at high access rates and is reported via
 :attr:`SampleBatch.lost`.
+
+Sampling uses geometric-gap *skip sampling*: instead of drawing one
+uniform per offered access (Bernoulli thinning), the sampler draws the
+gaps between consecutive samples from Geometric(1/period) and jumps
+straight to the next sampled access.  The two schemes induce exactly
+the same law -- sample counts are Binomial(n, 1/period) and sampled
+positions are uniform -- but skip sampling costs O(samples) RNG work
+instead of O(accesses), which is the point of the paper's "lightweight"
+claim: at LOW level only ~1 in 6400 accesses pays any work at all.
+The gap state carries across batches, so the sampled stream is
+identical to thinning one infinite concatenated stream.
+
+Skip sampling draws a *different* RNG sequence than the seed
+implementation's per-access thinning: for a fixed seed the sampled
+stream is statistically equivalent, not bit-identical, to older
+releases (see docs/API.md "Performance").
 """
 
 from __future__ import annotations
@@ -61,7 +77,7 @@ class PEBSSampler:
         Modeled CPU cost per collected sample (PEBS assist + record
         parse); drives the sampling tax in the cost model.
     seed:
-        Seed for the Bernoulli thinning.
+        Seed for the geometric skip-sampling stream.
     """
 
     def __init__(
@@ -86,6 +102,16 @@ class PEBSSampler:
         self._lost = 0
         self.total_samples = 0
         self.total_lost = 0
+        #: Accesses offered to :meth:`observe` while sampling was on.
+        self.total_offered = 0
+        #: RNG values consumed by the skip sampler (the quantity skip
+        #: sampling reduces from O(offered) to O(sampled)).
+        self.rng_values_drawn = 0
+        # Skip-sampling gap state: position of the next sample relative
+        # to the start of the next observed batch, and the probability
+        # it was drawn at (a level change invalidates the carry).
+        self._next_pos: int | None = None
+        self._gap_prob = 0.0
 
     # -- level control -----------------------------------------------------
 
@@ -110,15 +136,21 @@ class PEBSSampler:
     def observe(self, batch: AccessBatch, tiers: np.ndarray) -> None:
         """Show an access batch (with placement at access time) to the sampler.
 
-        A Bernoulli(1/period) subsample of the accesses lands in the
-        ring buffer; overflow beyond ``ring_capacity`` is dropped and
-        counted as lost.
+        A Binomial(n, 1/period) subsample of the accesses -- positioned
+        uniformly, via geometric gap skipping -- lands in the ring
+        buffer; overflow beyond ``ring_capacity`` is dropped and
+        counted as lost.  Cost is O(samples), not O(accesses): only the
+        pages actually sampled are gathered and tier-tagged.
         """
         prob = self.sampling_probability
         if prob <= 0.0 or batch.num_accesses == 0:
+            if prob <= 0.0:
+                # OFF: the pending gap no longer describes anything.
+                self._next_pos = None
             return
-        mask = self._rng.random(batch.num_accesses) < prob
-        n_hit = int(np.count_nonzero(mask))
+        self.total_offered += batch.num_accesses
+        positions = self._sample_positions(batch.num_accesses, prob)
+        n_hit = int(positions.size)
         if n_hit == 0:
             return
         space = self.ring_capacity - self._pending_count
@@ -126,18 +158,56 @@ class PEBSSampler:
             self._lost += n_hit
             self.total_lost += n_hit
             return
-        sampled_pages = batch.page_ids[mask]
-        sampled_tiers = np.asarray(tiers, dtype=np.int64)[mask]
         if n_hit > space:
             self._lost += n_hit - space
             self.total_lost += n_hit - space
-            sampled_pages = sampled_pages[:space]
-            sampled_tiers = sampled_tiers[:space]
+            positions = positions[:space]
             n_hit = space
-        self._pending_pages.append(sampled_pages)
-        self._pending_tiers.append(sampled_tiers)
+        self._pending_pages.append(batch.page_ids[positions])
+        self._pending_tiers.append(np.asarray(tiers)[positions])
         self._pending_count += n_hit
         self.total_samples += n_hit
+
+    def _sample_positions(self, n: int, prob: float) -> np.ndarray:
+        """Positions of this batch's samples, in program order.
+
+        Gaps between consecutive samples are iid Geometric(prob) --
+        exactly the law of success positions in a Bernoulli(prob)
+        stream -- and the final gap carries over to the next batch so
+        batching boundaries are invisible to the statistics.  A level
+        change redraws the carried gap at the new probability.
+        """
+        if self._next_pos is None or self._gap_prob != prob:
+            self._next_pos = int(self._rng.geometric(prob)) - 1
+            self._gap_prob = prob
+            self.rng_values_drawn += 1
+        pos = self._next_pos
+        if pos >= n:
+            self._next_pos = pos - n
+            return np.zeros(0, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        while True:
+            # Draw enough gaps to cross the batch end with ~6-sigma
+            # headroom; the rare shortfall just loops once more.
+            expected = (n - pos) * prob
+            draw = int(expected + 6.0 * np.sqrt(expected)) + 16
+            gaps = self._rng.geometric(prob, size=draw)
+            self.rng_values_drawn += draw
+            positions = pos + np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(gaps))
+            )
+            cut = int(np.searchsorted(positions, n, side="left"))
+            chunks.append(positions[:cut])
+            if cut < positions.size:
+                # First position past the batch is the carried gap.
+                self._next_pos = int(positions[cut]) - n
+                break
+            pos = int(positions[-1]) + int(self._rng.geometric(prob))
+            self.rng_values_drawn += 1
+            if pos >= n:
+                self._next_pos = pos - n
+                break
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
 
     # -- draining -----------------------------------------------------------------
 

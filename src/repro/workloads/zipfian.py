@@ -6,18 +6,61 @@ probability of the item with popularity rank ``r`` is proportional to
 ``r^-alpha``.  :class:`ZipfianSampler` draws item *ids* (not ranks)
 from that law over a fixed universe:
 
-- the rank->probability table is precomputed once and sampled by
-  inverse-CDF (``searchsorted`` on uniforms), so drawing a million
-  samples is two vectorized ops;
+- ranks are drawn by Walker/Vose **alias sampling**: the rank
+  distribution is preprocessed once into an alias table, after which
+  every draw is O(1) (one uniform lane pick plus one accept/alias
+  coin) instead of the O(log n) binary search of inverse-CDF sampling;
 - a seeded permutation maps ranks to item ids, scattering hot items
   across the id space the way hot pages scatter across a real heap
   (without this, hot data would be contiguous and linear scans would
   see an unrealistically easy layout).
+
+The alias method consumes a different RNG sequence than inverse-CDF
+``searchsorted`` sampling did, so fixed-seed draws are statistically
+equivalent, not bit-identical, to older releases (see docs/API.md
+"Performance").
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def build_alias_table(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vose alias table for the distribution proportional to ``weights``.
+
+    Returns ``(accept, alias)``: to sample, draw lane ``i`` uniformly
+    and uniform ``u``; the sample is ``i`` if ``u < accept[i]`` else
+    ``alias[i]``.  Construction is O(n) and deterministic (no RNG), so
+    the table is a pure function of the weights.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0) or not np.isfinite(weights).all():
+        raise ValueError("weights must be finite and non-negative")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("weights must not sum to zero")
+    n = weights.size
+    scaled = weights * (n / total)
+    accept = np.ones(n, dtype=np.float64)
+    alias = np.arange(n, dtype=np.int64)
+    small = list(np.nonzero(scaled < 1.0)[0])
+    large = list(np.nonzero(scaled >= 1.0)[0])
+    while small and large:
+        s = small.pop()
+        big = large.pop()
+        accept[s] = scaled[s]
+        alias[s] = big
+        scaled[big] -= 1.0 - scaled[s]
+        (small if scaled[big] < 1.0 else large).append(big)
+    # Leftovers are probability ~1 up to float round-off.
+    for i in small:
+        accept[i] = 1.0
+    for i in large:
+        accept[i] = 1.0
+    return accept, alias
 
 
 class ZipfianSampler:
@@ -41,6 +84,7 @@ class ZipfianSampler:
         weights = ranks**-alpha
         self._cdf = np.cumsum(weights)
         self._cdf /= self._cdf[-1]
+        self._accept, self._alias = build_alias_table(weights)
         if permute:
             self._rank_to_item = self._rng.permutation(self.num_items)
         else:
@@ -48,20 +92,17 @@ class ZipfianSampler:
 
     def sample(self, size: int) -> np.ndarray:
         """Draw ``size`` item ids (int64) from the Zipf law."""
+        return self._rank_to_item[self.sample_ranks(size)]
+
+    def sample_ranks(self, size: int) -> np.ndarray:
+        """Draw popularity *ranks* (0-based, 0 = hottest) in O(1) each."""
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size}")
         if size == 0:
             return np.zeros(0, dtype=np.int64)
-        uniforms = self._rng.random(size)
-        ranks = np.searchsorted(self._cdf, uniforms, side="right")
-        return self._rank_to_item[ranks].astype(np.int64)
-
-    def sample_ranks(self, size: int) -> np.ndarray:
-        """Draw popularity *ranks* (0-based, 0 = hottest)."""
-        if size == 0:
-            return np.zeros(0, dtype=np.int64)
-        uniforms = self._rng.random(size)
-        return np.searchsorted(self._cdf, uniforms, side="right").astype(np.int64)
+        lanes = self._rng.integers(0, self.num_items, size=size)
+        coins = self._rng.random(size)
+        return np.where(coins < self._accept[lanes], lanes, self._alias[lanes])
 
     def item_of_rank(self, rank: int) -> int:
         """The item id occupying popularity rank ``rank``."""
@@ -79,16 +120,42 @@ class ZipfianSampler:
         popularity ranks, so previously hot items cool down and cold
         ones heat up, without changing the overall distribution shape.
         Returns the number of swaps performed.
+
+        The swaps apply in vectorized rounds that are exactly
+        equivalent to performing them one at a time: a swap is applied
+        once no earlier pending swap shares an index with it, and the
+        swaps applied together in one round are then pairwise disjoint,
+        so a single fancy-indexed exchange is safe.  Duplicate indices
+        across swaps therefore chase values the same way the sequential
+        loop did, and the map remains a permutation.
         """
         if num_swaps <= 0:
             return 0
         a = self._rng.integers(0, self.num_items, size=num_swaps)
         b = self._rng.integers(0, self.num_items, size=num_swaps)
-        for i, j in zip(a, b):
-            self._rank_to_item[i], self._rank_to_item[j] = (
-                self._rank_to_item[j],
-                self._rank_to_item[i],
-            )
+        items = self._rank_to_item
+        # First-occurrence scratch: left uninitialized on purpose; only
+        # slots just written are ever read back.
+        first_occ = np.empty(self.num_items, dtype=np.int64)
+        while a.size:
+            # Interleave [a0, b0, a1, b1, ...]; swap i is applicable
+            # iff neither index occurs before flat slot 2i.
+            flat = np.empty(2 * a.size, dtype=np.int64)
+            flat[0::2] = a
+            flat[1::2] = b
+            slots = np.arange(2 * a.size, dtype=np.int64)
+            # Fancy assignment keeps the *last* write per index, so
+            # scattering slot numbers in reverse order leaves each
+            # touched index holding its first occurrence -- no sort.
+            first_occ[flat[::-1]] = slots[::-1]
+            first_of = first_occ[flat]
+            slot = slots[0::2]
+            safe = (first_of[0::2] >= slot) & (first_of[1::2] >= slot)
+            sa, sb = a[safe], b[safe]
+            tmp = items[sa].copy()
+            items[sa] = items[sb]
+            items[sb] = tmp
+            a, b = a[~safe], b[~safe]
         return int(num_swaps)
 
     def mass_of_top_fraction(self, fraction: float) -> float:

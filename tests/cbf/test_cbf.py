@@ -151,3 +151,35 @@ class TestConservativeUpdate:
         cbf.increase(keys, np.array([7, 3]))
         assert cbf.get(1) >= 7
         assert cbf.get(2) >= 3
+
+    def test_increase_matches_dense_reference(self):
+        """The scatter-max increase equals the textbook conservative
+        update: each key's slots rise to min-slot + total, never drop."""
+        rng = np.random.default_rng(12)
+        for trial in range(30):
+            cbf = CountingBloomFilter(
+                num_counters=int(rng.integers(8, 64)),
+                num_hashes=int(rng.integers(1, 5)),
+                bits=int(rng.choice([2, 4, 8])),
+                seed=trial,
+            )
+            # Pre-load some state.
+            cbf.increase(
+                rng.integers(0, 40, size=20).astype(np.uint64),
+                rng.integers(1, 5, size=20),
+            )
+            keys = rng.integers(0, 40, size=10).astype(np.uint64)
+            counts = rng.integers(1, 6, size=10)
+            idx = cbf._indices(keys)
+            dense = cbf._counters.to_array()
+            # Reference: per-key target = min(slots) + count, clamped;
+            # each slot only ever raised, duplicates keep the max.
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            totals = np.bincount(inverse, weights=counts).astype(np.int64)
+            mins = dense[idx].min(axis=1)
+            per_key_totals = totals[inverse]
+            targets = np.minimum(mins + per_key_totals, cbf.max_count)
+            for row, target in zip(idx, targets):
+                np.maximum.at(dense, row, target)
+            cbf.increase(keys, counts)
+            np.testing.assert_array_equal(cbf._counters.to_array(), dense)

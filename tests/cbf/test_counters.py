@@ -96,6 +96,57 @@ class TestAddSaturating:
         assert np.array_equal(arr.get(np.array([0, 1, 2])), [3, 3, 3])
 
 
+class TestMaximum:
+    """Scatter-max: raise each counter to at least the target value."""
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 16])
+    def test_matches_dense_reference(self, bits):
+        rng = np.random.default_rng(bits)
+        size = 97  # odd size exercises the partial last byte
+        for __ in range(20):
+            arr = PackedCounterArray(size, bits=bits)
+            start = rng.integers(0, arr.max_value + 1, size=size)
+            arr.set(np.arange(size), start)
+            idx = rng.integers(0, size, size=60)
+            vals = rng.integers(0, arr.max_value + 10, size=60)
+            arr.maximum(idx, vals)
+            dense = start.copy()
+            np.maximum.at(dense, idx, np.minimum(vals, arr.max_value))
+            np.testing.assert_array_equal(arr.to_array(), dense)
+
+    def test_duplicates_keep_largest(self):
+        arr = PackedCounterArray(8, bits=4)
+        arr.maximum(np.array([3, 3, 3]), np.array([5, 9, 2]))
+        assert arr.get(np.array([3]))[0] == 9
+
+    def test_never_decreases(self):
+        arr = PackedCounterArray(8, bits=4)
+        arr.set(np.array([2]), np.array([12]))
+        arr.maximum(np.array([2]), np.array([4]))
+        assert arr.get(np.array([2]))[0] == 12
+
+    def test_clamps_to_max(self):
+        arr = PackedCounterArray(8, bits=2)
+        arr.maximum(np.array([0]), np.array([100]))
+        assert arr.get(np.array([0]))[0] == 3
+
+    def test_adjacent_subbyte_counters_untouched(self):
+        arr = PackedCounterArray(4, bits=4)
+        arr.set(np.arange(4), np.array([1, 2, 3, 4]))
+        arr.maximum(np.array([1]), np.array([15]))
+        assert np.array_equal(arr.to_array(), [1, 15, 3, 4])
+
+    def test_out_of_bounds_raises(self):
+        arr = PackedCounterArray(8)
+        with pytest.raises(IndexError):
+            arr.maximum(np.array([8]), np.array([1]))
+
+    def test_empty(self):
+        arr = PackedCounterArray(8, bits=4)
+        arr.maximum(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert np.all(arr.to_array() == 0)
+
+
 class TestHalveAll:
     @pytest.mark.parametrize("bits", [2, 4, 8, 16])
     def test_halves_every_counter(self, bits):

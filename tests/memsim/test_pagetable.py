@@ -65,6 +65,36 @@ class TestPlacement:
         assert table.count_in_tier(LOCAL_TIER) == np.sum(placement == LOCAL_TIER)
         assert table.count_in_tier(CXL_TIER) == np.sum(placement == CXL_TIER)
 
+    def test_tier_count_invariant_random_place_unmap(self, table):
+        """The incrementally maintained per-tier counts always equal a
+        fresh count over the placement array, after any interleaving of
+        place/unmap (including re-placing mapped pages)."""
+        rng = np.random.default_rng(7)
+        for step in range(200):
+            pages = rng.integers(0, 100, size=int(rng.integers(1, 30)))
+            pages = np.unique(pages)
+            if rng.random() < 0.3:
+                table.unmap(pages)
+            else:
+                table.place(pages, int(rng.integers(0, 2)))
+            placement = table.tier_of(np.arange(100))
+            assert table.count_in_tier(LOCAL_TIER) == int(
+                np.count_nonzero(placement == LOCAL_TIER)
+            )
+            assert table.count_in_tier(CXL_TIER) == int(
+                np.count_nonzero(placement == CXL_TIER)
+            )
+            assert table.mapped_pages == int(
+                np.count_nonzero(placement != UNMAPPED)
+            )
+
+    def test_lookup_dtype_is_int8(self, table):
+        """The placement hot path stays int8 end-to-end (no silent
+        promotion to int64 on every batch lookup)."""
+        table.place(np.arange(10), LOCAL_TIER)
+        assert table.tier_of(np.arange(20)).dtype == np.int8
+        assert table.pagemap_read_batch(np.arange(20)).dtype == np.int8
+
 
 class TestPagemapReads:
     def test_batch_read_values(self, table):

@@ -104,6 +104,119 @@ class TestRingBuffer:
         assert s.drain().lost == 0
 
 
+class TestSkipSamplingStatistics:
+    """Distributional guarantees of the O(samples) skip sampler.
+
+    Skip sampling is statistically equivalent to Bernoulli thinning --
+    per-batch sample counts follow Binomial(n, 1/period) and sampled
+    positions are uniform -- while drawing O(samples) RNG values
+    instead of one per offered access.
+    """
+
+    def _collect_counts(self, sampler, batch, tiers, reps):
+        counts = []
+        for _ in range(reps):
+            before = sampler.total_samples
+            sampler.observe(batch, tiers)
+            counts.append(sampler.total_samples - before)
+            sampler.drain()
+        return np.array(counts)
+
+    def test_sample_count_follows_binomial_law(self):
+        n, reps = 50_000, 2_000
+        s = PEBSSampler(base_period=64, seed=42)
+        s.set_level(SamplingLevel.MEDIUM)  # period 640
+        batch = make_batch(n)
+        counts = self._collect_counts(s, batch, np.zeros(n, dtype=np.int8), reps)
+        p = 1.0 / 640
+        mean_exp = n * p
+        var_exp = n * p * (1 - p)
+        # Mean within 5 sigma of the binomial mean (fixed seed: stable).
+        assert abs(counts.mean() - mean_exp) < 5 * np.sqrt(var_exp / reps)
+        # Variance within 20% of the binomial variance.
+        assert 0.8 * var_exp < counts.var() < 1.2 * var_exp
+
+    def test_sampled_positions_uniform_chi_squared(self):
+        n, bins = 50_000, 10
+        s = PEBSSampler(base_period=64, seed=7)
+        s.set_level(SamplingLevel.MEDIUM)
+        ids = np.arange(n)
+        tiers = np.zeros(n, dtype=np.int8)
+        hist = np.zeros(bins)
+        for _ in range(400):
+            s.observe(AccessBatch(page_ids=ids, num_ops=1.0, cpu_ns=0.0), tiers)
+            out = s.drain()
+            hist += np.bincount(out.page_ids // (n // bins), minlength=bins)[:bins]
+        expected = hist.sum() / bins
+        chi2 = float(((hist - expected) ** 2 / expected).sum())
+        # 9 degrees of freedom; 99.9th percentile is 27.9.
+        assert chi2 < 27.9, f"positions not uniform: chi2={chi2:.1f}"
+
+    def test_rng_work_is_o_samples(self):
+        """The point of skip sampling: RNG draws track samples, not accesses."""
+        n = 100_000
+        batch = make_batch(n)
+        tiers = np.zeros(n, dtype=np.int8)
+        for level, min_reduction in [
+            (SamplingLevel.MEDIUM, 100.0),
+            (SamplingLevel.LOW, 1_000.0),
+        ]:
+            s = PEBSSampler(base_period=64, seed=0)
+            s.set_level(level)
+            for _ in range(20):
+                s.observe(batch, tiers)
+                s.drain()
+            reduction = s.total_offered / max(s.rng_values_drawn, 1)
+            assert reduction > min_reduction, (level, reduction)
+
+    def test_gap_carry_spans_batches(self):
+        """Batch boundaries are invisible: tiny batches at LOW level
+        still sample at the nominal long-run rate."""
+        s = PEBSSampler(base_period=64, seed=5)
+        s.set_level(SamplingLevel.LOW)  # period 6400 >> batch size
+        batch = make_batch(1_000)
+        tiers = np.zeros(1_000, dtype=np.int8)
+        for _ in range(3_000):  # 3M accesses -> ~469 samples expected
+            s.observe(batch, tiers)
+        expected = 3_000_000 / 6400
+        assert s.total_samples == pytest.approx(expected, rel=0.25)
+
+    def test_level_change_redraws_gap(self):
+        """A level change mid-stream adopts the new rate immediately."""
+        s = PEBSSampler(base_period=64, seed=9)
+        s.set_level(SamplingLevel.LOW)
+        batch = make_batch(10_000)
+        tiers = np.zeros(10_000, dtype=np.int8)
+        s.observe(batch, tiers)
+        s.set_level(SamplingLevel.HIGH)
+        before = s.total_samples
+        for _ in range(20):
+            s.observe(batch, tiers)
+        got = s.total_samples - before
+        assert got == pytest.approx(200_000 / 64, rel=0.2)
+
+    def test_overflow_accounting_with_skip_period(self):
+        """Ring overflow at period > 1 still counts every lost sample."""
+        s = PEBSSampler(base_period=4, ring_capacity=50, seed=0)
+        s.observe(make_batch(10_000), np.zeros(10_000, dtype=np.int8))
+        assert s.pending_samples == 50
+        out = s.drain()
+        assert out.num_samples == 50
+        assert out.lost > 0
+        assert out.lost == s.total_lost
+        # ~2500 hits at period 4; everything beyond the ring is lost.
+        assert out.lost == pytest.approx(2_450, rel=0.1)
+
+    def test_off_then_on_resumes_cleanly(self):
+        s = PEBSSampler(base_period=8, seed=1)
+        s.set_level(SamplingLevel.OFF)
+        s.observe(make_batch(1_000), np.zeros(1_000, dtype=np.int8))
+        assert s.pending_samples == 0
+        s.set_level(SamplingLevel.HIGH)
+        s.observe(make_batch(10_000), np.zeros(10_000, dtype=np.int8))
+        assert s.pending_samples == pytest.approx(1_250, rel=0.3)
+
+
 class TestOverhead:
     def test_overhead_linear_in_samples(self):
         s = PEBSSampler(sample_cost_ns=100.0)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.workloads.zipfian import ZipfianSampler
+from repro.workloads.zipfian import ZipfianSampler, build_alias_table
 
 
 class TestBasics:
@@ -86,6 +86,109 @@ class TestPermutation:
             z.mass_of_top_fraction(1.5)
         assert z.mass_of_top_fraction(0.0) == 0.0
         assert z.mass_of_top_fraction(1.0) == pytest.approx(1.0)
+
+
+class TestAliasMethod:
+    """The O(1) alias sampler must encode the Zipf law exactly."""
+
+    def test_alias_table_reconstructs_pmf_golden(self):
+        """Golden check: the alias table is a deterministic function of
+        the weights and reconstructs the analytic Zipf pmf to float
+        round-off (no RNG involved in construction)."""
+        for n, alpha in [(1, 0.0), (7, 1.1), (1_000, 0.9), (4_096, 2.0)]:
+            weights = np.arange(1, n + 1, dtype=np.float64) ** -alpha
+            accept, alias = build_alias_table(weights)
+            pmf = accept.copy()
+            np.add.at(pmf, alias, 1.0 - accept)
+            pmf /= n
+            np.testing.assert_allclose(
+                pmf, weights / weights.sum(), rtol=0, atol=1e-12
+            )
+
+    def test_alias_table_shape_and_ranges(self):
+        accept, alias = build_alias_table(np.array([3.0, 1.0, 1.0, 1.0]))
+        assert accept.shape == alias.shape == (4,)
+        assert np.all((accept >= 0.0) & (accept <= 1.0))
+        assert np.all((alias >= 0) & (alias < 4))
+
+    def test_build_alias_validation(self):
+        with pytest.raises(ValueError):
+            build_alias_table(np.zeros(0))
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([1.0, np.inf]))
+
+    def test_draws_match_pmf_chi_squared(self):
+        n = 50
+        z = ZipfianSampler(n, 1.0, seed=11, permute=False)
+        draws = z.sample_ranks(400_000)
+        observed = np.bincount(draws, minlength=n)
+        weights = np.arange(1, n + 1, dtype=np.float64) ** -1.0
+        expected = weights / weights.sum() * draws.size
+        chi2 = float(((observed - expected) ** 2 / expected).sum())
+        # 49 degrees of freedom; 99.9th percentile is ~85.4.
+        assert chi2 < 85.4, f"alias draws off the Zipf pmf: chi2={chi2:.1f}"
+
+    def test_fixed_seed_determinism(self):
+        a = ZipfianSampler(1_000, 1.1, seed=21)
+        b = ZipfianSampler(1_000, 1.1, seed=21)
+        assert np.array_equal(a.sample(5_000), b.sample(5_000))
+        assert np.array_equal(a.sample_ranks(5_000), b.sample_ranks(5_000))
+
+
+class TestReassignRanksVectorized:
+    def _sequential_reference(self, n, a, b):
+        ref = np.arange(n)
+        for i, j in zip(a, b):
+            ref[i], ref[j] = ref[j], ref[i]
+        return ref
+
+    class _ScriptedRng:
+        """Feeds predetermined swap endpoints to reassign_ranks."""
+
+        def __init__(self, draws):
+            self._draws = list(draws)
+
+        def integers(self, low, high, size):
+            return self._draws.pop(0)
+
+    def test_matches_sequential_swaps_with_duplicates(self):
+        rng = np.random.default_rng(0)
+        for trial in range(100):
+            n = int(rng.integers(2, 30))
+            m = int(rng.integers(1, 40))
+            a = rng.integers(0, n, size=m)
+            b = rng.integers(0, n, size=m)
+            z = ZipfianSampler(n, 1.0, seed=0, permute=False)
+            z._rng = self._ScriptedRng([a.copy(), b.copy()])
+            assert z.reassign_ranks(m) == m
+            np.testing.assert_array_equal(
+                z._rank_to_item, self._sequential_reference(n, a, b)
+            )
+
+    def test_map_stays_permutation(self):
+        z = ZipfianSampler(5_000, 1.0, seed=3)
+        for _ in range(5):
+            z.reassign_ranks(2_000)  # heavy duplicate pressure
+            assert np.array_equal(
+                np.sort(z._rank_to_item), np.arange(5_000)
+            )
+
+    def test_zero_and_negative_swaps(self):
+        z = ZipfianSampler(10, 1.0, seed=0, permute=False)
+        before = z._rank_to_item.copy()
+        assert z.reassign_ranks(0) == 0
+        assert z.reassign_ranks(-5) == 0
+        assert np.array_equal(z._rank_to_item, before)
+
+    def test_self_swap_is_noop(self):
+        z = ZipfianSampler(4, 1.0, seed=0, permute=False)
+        z._rng = self._ScriptedRng([np.array([2, 2]), np.array([2, 2])])
+        z.reassign_ranks(2)
+        assert np.array_equal(z._rank_to_item, np.arange(4))
 
 
 @given(
