@@ -45,6 +45,7 @@ from repro.core import (
     CellSpec,
     ExperimentConfig,
     ExperimentResult,
+    FailedCell,
     ParallelExecutor,
     PolicySpec,
     ResultCache,
@@ -55,6 +56,13 @@ from repro.core import (
     run_cells,
     run_experiment,
     sweep,
+)
+from repro.faults import (
+    FAULT_PRESETS,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    parse_fault_spec,
 )
 from repro.obs import (
     JsonlTraceSink,
@@ -109,8 +117,13 @@ __all__ = [
     "ExactFrequencyTracker",
     "ExperimentConfig",
     "ExperimentResult",
+    "FailedCell",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
     "FreqTier",
     "FreqTierConfig",
+    "InjectedCrash",
     "GapWorkload",
     "GiB",
     "HeMem",
@@ -144,6 +157,7 @@ __all__ = [
     "ZipfianSampler",
     "compare_policies",
     "pages_to_sim_gb",
+    "parse_fault_spec",
     "run_all_local",
     "run_cells",
     "run_experiment",

@@ -31,11 +31,13 @@ from repro.core.config import ExperimentConfig
 from repro.core.metrics import ExperimentResult
 from repro.core.parallel import (
     CellSpec,
+    FailedCell,
     ParallelExecutor,
     PolicySpec,
     WorkloadSpec,
 )
 from repro.core.runner import compare_policies, run_all_local, run_experiment
+from repro.faults import FAULT_PRESETS, FaultPlan, parse_fault_spec
 from repro.memsim.tier import CXL1_CONFIG, CXL2_CONFIG
 from repro.obs import trace_to
 
@@ -83,7 +85,36 @@ def _executor_from_args(args: argparse.Namespace) -> ParallelExecutor:
     return ParallelExecutor(
         jobs=getattr(args, "jobs", 1),
         cache=getattr(args, "cache_dir", None),
+        cell_timeout=getattr(args, "cell_timeout", None),
+        retries=getattr(args, "retries", 0),
+        keep_going=getattr(args, "keep_going", False),
     )
+
+
+def _faults_from_args(args: argparse.Namespace) -> FaultPlan | None:
+    spec = getattr(args, "faults", None)
+    if spec is None:
+        return None
+    try:
+        return parse_fault_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _report_failed_cells(results: dict) -> dict:
+    """Print FailedCell entries to stderr; return the survivors."""
+    for name, res in results.items():
+        if isinstance(res, FailedCell):
+            print(
+                f"cell {name!r} FAILED after {res.attempts} attempt(s): "
+                f"{res.error}",
+                file=sys.stderr,
+            )
+    return {
+        name: res
+        for name, res in results.items()
+        if not isinstance(res, FailedCell)
+    }
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -127,6 +158,17 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    presets = ", ".join(sorted(FAULT_PRESETS))
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PRESET|JSON",
+        help="inject deterministic faults: a preset name "
+        f"({presets}) or an inline FaultPlan JSON object",
+    )
+
+
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -139,6 +181,26 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="content-addressed result cache directory (skips "
         "already-computed cells; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail one cell attempt after this many wall-clock seconds "
+        "(pool mode only, i.e. --jobs != 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=0,
+        help="failed attempts allowed per cell beyond the first",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on a cell's permanent failure, report it and keep the "
+        "rest of the grid instead of aborting",
     )
 
 
@@ -167,8 +229,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     max_batches = None if args.batches <= 0 else args.batches
     config.max_batches = max_batches
+    faults = _faults_from_args(args)
     with trace_to(args.trace) as tracer:
-        result = run_experiment(workload, policy, config, tracer=tracer)
+        result = run_experiment(
+            workload, policy, config, tracer=tracer, faults=faults
+        )
     payload = _result_dict(result)
     if args.baseline:
         base = run_all_local(workload, config)
@@ -201,7 +266,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         config,
         executor=_executor_from_args(args),
         trace_dir=args.trace,
+        faults=_faults_from_args(args),
     )
+    results = _report_failed_cells(results)
     if args.trace:
         print(f"per-cell traces written under {args.trace}/", file=sys.stderr)
     if args.report:
@@ -328,6 +395,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # batch, so --jobs parallelizes the whole sweep and --cache-dir
     # skips already-computed points.
     executor = _executor_from_args(args)
+    faults = _faults_from_args(args)
     cells = []
     for frac in fractions:
         config = ExperimentConfig(
@@ -337,13 +405,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_batches=None if args.batches <= 0 else args.batches,
             seed=args.seed,
         )
-        cells.append(CellSpec(workload, policy, config, label=str(frac)))
-        cells.append(CellSpec(workload, None, config, label=f"{frac}-base"))
+        cells.append(
+            CellSpec(workload, policy, config, label=str(frac), faults=faults)
+        )
+        cells.append(
+            CellSpec(
+                workload, None, config, label=f"{frac}-base", faults=faults
+            )
+        )
     cell_results = executor.run(cells)
     rows = []
     payload = {}
     for i, frac in enumerate(fractions):
         result, base = cell_results[2 * i], cell_results[2 * i + 1]
+        if isinstance(result, FailedCell) or isinstance(base, FailedCell):
+            failed = result if isinstance(result, FailedCell) else base
+            print(
+                f"fraction {frac}: cell {failed.label!r} FAILED after "
+                f"{failed.attempts} attempt(s): {failed.error}",
+                file=sys.stderr,
+            )
+            rows.append([f"{frac:.2%}", "FAILED", "-", "-"])
+            payload[str(frac)] = {"failed": True, "error": failed.error}
+            continue
         rel = result.relative_to(base)["throughput"]
         rows.append(
             [
@@ -377,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment cell")
     _add_common_args(p_run)
+    _add_fault_args(p_run)
     p_run.add_argument("--policy", required=True)
     p_run.add_argument(
         "--baseline",
@@ -394,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="compare several policies")
     _add_common_args(p_cmp)
     _add_exec_args(p_cmp)
+    _add_fault_args(p_cmp)
     p_cmp.add_argument(
         "--policies",
         default=None,
@@ -430,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="sweep local DRAM fractions")
     _add_common_args(p_sweep)
     _add_exec_args(p_sweep)
+    _add_fault_args(p_sweep)
     p_sweep.add_argument("--policy", required=True)
     p_sweep.add_argument(
         "--fractions",

@@ -18,6 +18,7 @@ from repro.core.engine import SimulationEngine
 from repro.core.metrics import BatchRecord, ExperimentResult, MetricsCollector
 from repro.core.parallel import (
     CellSpec,
+    FailedCell,
     ParallelExecutor,
     PolicySpec,
     WorkloadSpec,
@@ -39,6 +40,7 @@ __all__ = [
     "CellSpec",
     "ExperimentConfig",
     "ExperimentResult",
+    "FailedCell",
     "MetricsCollector",
     "ParallelExecutor",
     "PolicySpec",

@@ -81,19 +81,44 @@ class ResultCache:
         return self.cache_dir / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> ExperimentResult | None:
-        """Cached result for ``fingerprint``, or None on a miss."""
+        """Cached result for ``fingerprint``, or None on a miss.
+
+        A corrupt entry -- truncated write survived by a crash, stray
+        bytes, a payload that no longer deserializes -- is treated as a
+        miss and **quarantined** (renamed to ``<fingerprint>.corrupt``)
+        so it is never re-read, never silently deleted (it stays on
+        disk for diagnosis), and the recomputed result can take its
+        place.
+        """
         path = self.path_for(fingerprint)
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
             return None
-        if payload.get("schema") != SCHEMA_VERSION:
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             self.misses += 1
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            return_value = ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
-        return ExperimentResult.from_dict(payload["result"])
+        return return_value
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (best-effort, never raises)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
 
     def put(self, fingerprint: str, result: ExperimentResult) -> None:
         """Store ``result`` under ``fingerprint`` (atomic write)."""

@@ -40,11 +40,13 @@ class SimulationEngine:
         workload: Workload,
         policy: TieringPolicy,
         tracer: Tracer | None = None,
+        fault_injector=None,
     ):
         self.machine = machine
         self.workload = workload
         self.policy = policy
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_injector = fault_injector
         self.metrics = MetricsCollector()
         self.now_ns = 0.0
         self._setup_done = False
@@ -59,6 +61,12 @@ class SimulationEngine:
             return
         self.machine.tracer = self.tracer
         self.policy.set_tracer(self.tracer)
+        if self.fault_injector is not None:
+            # Before attach: policies propagate the injector into the
+            # samplers they build at attach time.
+            self.fault_injector.tracer = self.tracer
+            self.machine.fault_injector = self.fault_injector
+            self.policy.set_fault_injector(self.fault_injector)
         self.policy.attach(self.machine)
         self.workload.setup(self.machine)
         self._setup_done = True
@@ -82,6 +90,8 @@ class SimulationEngine:
                 break
 
             tracer.clock_ns = self.now_ns
+            if self.fault_injector is not None:
+                self.fault_injector.tick_batch()
             tiers = machine.placement_of(batch.page_ids)
             n_local = int(np.count_nonzero(tiers == LOCAL_TIER))
             n_cxl = batch.num_accesses - n_local

@@ -27,14 +27,18 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.cache import ResultCache, cell_fingerprint, config_to_dict
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import ExperimentResult
+from repro.faults import FaultPlan
 from repro.obs import trace_to
 
 # --------------------------------------------------------------------------
@@ -214,6 +218,10 @@ class CellSpec:
     config: ExperimentConfig
     label: str = ""
     trace_path: str | None = None
+    #: Optional fault plan injected into the cell's run.  Part of the
+    #: cache fingerprint *only when active*, so fault-free grids keep
+    #: their historical fingerprints (and cache entries).
+    faults: FaultPlan | None = None
 
     def fingerprint(self) -> str | None:
         """Content-address of this cell, or None if not addressable.
@@ -230,16 +238,35 @@ class CellSpec:
             policy_part = self.policy.spec_dict()
         else:
             return None
+        key = {
+            "workload": self.workload.spec_dict(),
+            "policy": policy_part,
+            "config": config_to_dict(self.config),
+        }
+        if self.faults is not None and self.faults.active:
+            key["faults"] = self.faults.to_dict()
         try:
-            return cell_fingerprint(
-                {
-                    "workload": self.workload.spec_dict(),
-                    "policy": policy_part,
-                    "config": config_to_dict(self.config),
-                }
-            )
+            return cell_fingerprint(key)
         except (TypeError, ValueError):
             return None
+
+
+@dataclass
+class FailedCell:
+    """Structured stand-in result for a cell that failed permanently.
+
+    Returned (in the result list, at the cell's position) only under
+    ``keep_going=True``; without it the executor re-raises the cell's
+    last error instead.  Never written to the result cache.
+    """
+
+    label: str
+    error: str
+    attempts: int
+
+    #: Class marker so callers can cheaply split results:
+    #: ``[r for r in results if not getattr(r, "failed", False)]``.
+    failed = True
 
 
 def run_cell(spec: CellSpec) -> ExperimentResult:
@@ -250,9 +277,15 @@ def run_cell(spec: CellSpec) -> ExperimentResult:
 
     with trace_to(spec.trace_path) as tracer:
         if spec.policy is None:
-            return run_all_local(spec.workload, spec.config, tracer=tracer)
+            return run_all_local(
+                spec.workload, spec.config, tracer=tracer, faults=spec.faults
+            )
         return run_experiment(
-            spec.workload, spec.policy, spec.config, tracer=tracer
+            spec.workload,
+            spec.policy,
+            spec.config,
+            tracer=tracer,
+            faults=spec.faults,
         )
 
 
@@ -275,11 +308,22 @@ def resolve_jobs(jobs: int) -> int:
 
 @dataclass
 class ExecutorStats:
-    """Where each submitted cell's result came from."""
+    """Where each submitted cell's result came from, and what it cost."""
 
     cache_hits: int = 0
     executed: int = 0
     cached_results: int = 0  # results newly written to the cache
+    #: Charged failed attempts across all cells (a resubmission after an
+    #: unattributable pool break or a cancelled-before-start timeout is
+    #: *not* charged and not counted here).
+    retries: int = 0
+    #: Cells that exhausted their retry budget.
+    failures: int = 0
+    #: Cells whose attempt exceeded ``cell_timeout`` while running.
+    timeouts: int = 0
+    #: Times the process pool died (BrokenProcessPool) or was killed
+    #: (running-cell timeout) and was rebuilt.
+    pool_rebuilds: int = 0
 
 
 class ParallelExecutor:
@@ -293,21 +337,53 @@ class ParallelExecutor:
     cache:
         A :class:`~repro.core.cache.ResultCache`, a directory path to
         open one at, or None to disable caching.
+    cell_timeout:
+        Wall-clock seconds one attempt of one cell may run before it
+        is failed (and its worker killed).  None = no limit.  Enforced
+        on the pool path only; inline (``jobs=1``) execution cannot be
+        preempted.
+    retries:
+        Charged failed attempts allowed per cell beyond the first
+        (``retries=1`` means: try, and on failure try once more).
+        Unattributable failures -- a pool break while several cells
+        were in flight, a timeout cancelled before the cell started --
+        are resubmitted without charge.
+    keep_going:
+        On a cell's permanent failure, record a :class:`FailedCell` at
+        its position and keep running the rest of the grid, instead of
+        raising (the default) and losing the in-flight results.
 
     Determinism: each cell builds fresh workload/policy instances from
     its own seeds, so ``run()`` returns bit-identical results whatever
     the worker count or completion order.
+
+    Crash recovery: a dead worker (segfault, ``os._exit``) breaks the
+    whole ``ProcessPoolExecutor`` and cannot be attributed to one of
+    the in-flight cells.  The executor rebuilds the pool and switches
+    to *isolation mode* -- one cell in flight at a time -- where the
+    next crash attributes unambiguously; innocent cells complete and
+    only the crasher burns retry budget.
     """
 
     def __init__(
         self,
         jobs: int = 0,
         cache: ResultCache | str | os.PathLike | None = None,
+        cell_timeout: float | None = None,
+        retries: int = 0,
+        keep_going: bool = False,
     ):
         self.jobs = resolve_jobs(jobs)
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be > 0, got {cell_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.cache = cache
+        self.cell_timeout = cell_timeout
+        self.retries = int(retries)
+        self.keep_going = bool(keep_going)
         self.stats = ExecutorStats()
 
     # -- execution -----------------------------------------------------
@@ -341,6 +417,8 @@ class ParallelExecutor:
             for i, res in zip(pending, computed):
                 results[i] = res
                 self.stats.executed += 1
+                if isinstance(res, FailedCell):
+                    continue  # never cache failures
                 if self.cache is not None and fingerprints[i] is not None:
                     self.cache.put(fingerprints[i], res)
                     self.stats.cached_results += 1
@@ -362,11 +440,177 @@ class ParallelExecutor:
 
     def _execute(self, specs: list[CellSpec]) -> list[ExperimentResult]:
         if self.jobs == 1 or len(specs) == 1:
-            return [run_cell(spec) for spec in specs]
+            return [self._run_serial(spec) for spec in specs]
         self._require_picklable(specs)
+        return self._run_pool(specs)
+
+    # -- inline path ---------------------------------------------------
+
+    def _run_serial(self, spec: CellSpec):
+        """One cell, this process, with the same retry/keep_going rules.
+
+        ``cell_timeout`` is not enforceable here (nothing can preempt
+        the running cell) and ``crash_hard`` plans kill this process --
+        both need ``jobs > 1``.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return run_cell(spec)
+            except Exception as exc:
+                if attempts <= self.retries:
+                    self.stats.retries += 1
+                    continue
+                self.stats.failures += 1
+                if self.keep_going:
+                    return FailedCell(
+                        label=spec.label, error=repr(exc), attempts=attempts
+                    )
+                raise
+
+    # -- pool path -----------------------------------------------------
+
+    def _run_pool(self, specs: list[CellSpec]):
+        """Per-cell futures with timeout, retry, and crash recovery."""
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_cell, specs))
+        results: list[Any] = [None] * len(specs)
+        charged: list[int] = [0] * len(specs)  # charged failed attempts
+        todo = list(range(len(specs)))
+        isolation = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while todo:
+                if isolation:
+                    wave, todo = todo[:1], todo[1:]
+                else:
+                    wave, todo = todo, []
+                resubmit, rebuild = self._run_wave(
+                    pool, specs, wave, results, charged, isolation
+                )
+                todo = resubmit + todo
+                if rebuild:
+                    self._kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    self.stats.pool_rebuilds += 1
+                    isolation = True
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def _run_wave(
+        self,
+        pool: ProcessPoolExecutor,
+        specs: list[CellSpec],
+        wave: list[int],
+        results: list[Any],
+        charged: list[int],
+        isolation: bool,
+    ) -> tuple[list[int], bool]:
+        """Submit ``wave`` and collect it; returns (resubmit, rebuild).
+
+        Waits on futures in submission order with each cell's deadline
+        measured from its submission.  Once the pool must die (a break,
+        or a running cell overshooting its timeout), the remaining
+        futures are harvested if already done and resubmitted uncharged
+        otherwise -- their fate on the dying pool proves nothing about
+        them.
+        """
+        futures = []
+        deadlines = []
+        for i in wave:
+            futures.append(pool.submit(run_cell, specs[i]))
+            deadlines.append(
+                None
+                if self.cell_timeout is None
+                else time.monotonic() + self.cell_timeout
+            )
+        resubmit: list[int] = []
+        rebuild = False
+        for pos, i in enumerate(wave):
+            fut = futures[pos]
+            if rebuild:
+                # Pool is going down; salvage what already finished.
+                if fut.done() and not fut.cancelled() and fut.exception() is None:
+                    results[i] = fut.result()
+                else:
+                    fut.cancel()
+                    resubmit.append(i)
+                continue
+            try:
+                if deadlines[pos] is None:
+                    results[i] = fut.result()
+                else:
+                    remaining = deadlines[pos] - time.monotonic()
+                    results[i] = fut.result(timeout=max(remaining, 0.0))
+            except FutureTimeout:
+                if fut.cancel():
+                    # Never started (queued behind slower cells): not
+                    # the cell's fault, resubmit without charge.
+                    resubmit.append(i)
+                    continue
+                # Genuinely running overtime: charge it and kill the
+                # pool (the worker won't give the cell back).
+                self.stats.timeouts += 1
+                timeout_exc = TimeoutError(
+                    f"cell {specs[i].label or i!r} exceeded "
+                    f"cell_timeout={self.cell_timeout}s"
+                )
+                if not self._charge_failure(specs[i], i, timeout_exc, charged, results):
+                    resubmit.append(i)
+                rebuild = True
+            except BrokenProcessPool as exc:
+                if isolation:
+                    # Exactly one cell was in flight: the crash is its.
+                    if not self._charge_failure(specs[i], i, exc, charged, results):
+                        resubmit.append(i)
+                else:
+                    # Cannot tell which in-flight cell killed the
+                    # worker -- charge nobody, isolate, re-run.
+                    resubmit.append(i)
+                rebuild = True
+            except Exception as exc:
+                # An ordinary exception pickled back from the worker
+                # attributes unambiguously, pool intact.
+                if not self._charge_failure(specs[i], i, exc, charged, results):
+                    resubmit.append(i)
+        return resubmit, rebuild
+
+    def _charge_failure(
+        self,
+        spec: CellSpec,
+        i: int,
+        exc: BaseException,
+        charged: list[int],
+        results: list[Any],
+    ) -> bool:
+        """Charge one failed attempt; True if the cell is now final.
+
+        Finality means ``results[i]`` is set (a :class:`FailedCell`) or
+        the error was raised; False means the caller should resubmit.
+        """
+        charged[i] += 1
+        if charged[i] <= self.retries:
+            self.stats.retries += 1
+            return False
+        self.stats.failures += 1
+        if self.keep_going:
+            results[i] = FailedCell(
+                label=spec.label, error=repr(exc), attempts=charged[i]
+            )
+            return True
+        raise exc
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on a wedged worker."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     @staticmethod
     def _require_picklable(specs: list[CellSpec]) -> None:

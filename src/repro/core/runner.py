@@ -25,6 +25,7 @@ from repro.core.config import ExperimentConfig
 from repro.core.engine import SimulationEngine
 from repro.core.metrics import ExperimentResult
 from repro.core.parallel import CellSpec, ParallelExecutor
+from repro.faults import FaultInjector, FaultPlan
 from repro.memsim.machine import Machine, MachineConfig
 from repro.memsim.tier import TieredMemoryConfig
 from repro.obs import Tracer, trace_to
@@ -34,6 +35,15 @@ from repro.workloads.spec import Workload
 
 WorkloadFactory = Callable[[], Workload]
 PolicyFactory = Callable[[], TieringPolicy]
+
+
+def _build_injector(
+    faults: FaultPlan | None, machine: Machine
+) -> FaultInjector | None:
+    """An injector for the plan, or None when nothing would inject."""
+    if faults is None or not faults.active:
+        return None
+    return FaultInjector(faults, machine.config.total_capacity_pages)
 
 
 def build_machine(
@@ -78,6 +88,7 @@ def run_experiment(
     config: ExperimentConfig,
     executor: ParallelExecutor | None = None,
     tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
 ) -> ExperimentResult:
     """Run one experiment cell and reduce its metrics.
 
@@ -86,6 +97,11 @@ def run_experiment(
     applies to the inline path only; to trace cells running under an
     executor, set ``CellSpec.trace_path`` instead (tracer objects hold
     open sinks and do not cross process boundaries).
+
+    A ``faults`` plan (see :mod:`repro.faults`) injects deterministic
+    migration/sampling failures into the run; an inactive plan is
+    equivalent to None, and results under an active plan are cached
+    under a distinct fingerprint.
     """
     if executor is not None:
         if tracer is not None:
@@ -94,12 +110,18 @@ def run_experiment(
                 "set CellSpec.trace_path on the submitted cells"
             )
         return executor.run_one(
-            CellSpec(workload_factory, policy_factory, config)
+            CellSpec(workload_factory, policy_factory, config, faults=faults)
         )
     workload = workload_factory()
     machine = build_machine(workload.footprint_pages, config)
     policy = policy_factory()
-    engine = SimulationEngine(machine, workload, policy, tracer=tracer)
+    engine = SimulationEngine(
+        machine,
+        workload,
+        policy,
+        tracer=tracer,
+        fault_injector=_build_injector(faults, machine),
+    )
     return engine.run(
         max_batches=config.max_batches,
         max_accesses=config.max_accesses,
@@ -112,6 +134,7 @@ def run_all_local(
     config: ExperimentConfig,
     executor: ParallelExecutor | None = None,
     tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
 ) -> ExperimentResult:
     """The all-local upper bound for this workload and CXL device."""
     if executor is not None:
@@ -120,10 +143,18 @@ def run_all_local(
                 "tracer= only applies to inline runs; with an executor, "
                 "set CellSpec.trace_path on the submitted cells"
             )
-        return executor.run_one(CellSpec(workload_factory, None, config))
+        return executor.run_one(
+            CellSpec(workload_factory, None, config, faults=faults)
+        )
     workload = workload_factory()
     machine = build_all_local_machine(workload.footprint_pages, config.memory)
-    engine = SimulationEngine(machine, workload, AllLocal(), tracer=tracer)
+    engine = SimulationEngine(
+        machine,
+        workload,
+        AllLocal(),
+        tracer=tracer,
+        fault_injector=_build_injector(faults, machine),
+    )
     return engine.run(
         max_batches=config.max_batches,
         max_accesses=config.max_accesses,
@@ -138,6 +169,7 @@ def compare_policies(
     include_all_local: bool = True,
     executor: ParallelExecutor | None = None,
     trace_dir: str | None = None,
+    faults: FaultPlan | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several policies on identical cells; adds 'AllLocal' if asked.
 
@@ -169,6 +201,7 @@ def compare_policies(
                     config,
                     label="AllLocal",
                     trace_path=trace_path("AllLocal"),
+                    faults=faults,
                 )
             )
         specs.extend(
@@ -178,6 +211,7 @@ def compare_policies(
                 config,
                 label=name,
                 trace_path=trace_path(name),
+                faults=faults,
             )
             for name, factory in policy_factories.items()
         )
@@ -189,11 +223,11 @@ def compare_policies(
     if include_all_local:
         with trace_to(trace_path("AllLocal")) as tracer:
             results["AllLocal"] = run_all_local(
-                workload_factory, config, tracer=tracer
+                workload_factory, config, tracer=tracer, faults=faults
             )
     for name, factory in policy_factories.items():
         with trace_to(trace_path(name)) as tracer:
             results[name] = run_experiment(
-                workload_factory, factory, config, tracer=tracer
+                workload_factory, factory, config, tracer=tracer, faults=faults
             )
     return results

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and graceful-degradation support.
+
+- :class:`~repro.faults.plan.FaultPlan` -- picklable, seeded
+  description of what to inject (presets in
+  :data:`~repro.faults.plan.FAULT_PRESETS`);
+- :class:`~repro.faults.injector.FaultInjector` -- executes a plan
+  against one machine/sampler, deterministically;
+- :class:`~repro.faults.injector.InjectedCrash` -- the scheduled-crash
+  exception used to exercise executor recovery.
+
+See docs/API.md "Fault injection & resilience".
+"""
+
+from repro.faults.injector import FaultInjector, InjectedCrash
+from repro.faults.plan import FAULT_PRESETS, FaultPlan, parse_fault_spec
+
+__all__ = [
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "parse_fault_spec",
+]

@@ -1,0 +1,187 @@
+"""Declarative fault plans: what goes wrong, how often, under which seed.
+
+A :class:`FaultPlan` is the picklable, JSON-serializable description of
+every fault class the simulator can inject -- the adversarial
+conditions a production tiering daemon meets routinely (ARMS makes
+robustness under exactly these the headline property):
+
+- **transient migration failures** -- ``numa_move_pages`` returning
+  per-page ``-EBUSY``/``-EAGAIN`` (page under writeback, refcount
+  pinned for a moment);
+- **pinned pages** -- pages that *permanently* fail to migrate
+  (long-term GUP pins, DMA buffers): same errno at the call site, but
+  retrying forever is wasted work;
+- **target-node ENOMEM bursts** -- the destination node transiently
+  out of free pages, failing whole ``move_pages()`` calls for a spell;
+- **PEBS sample loss bursts** -- ring-buffer overruns dropping every
+  sample for several drain intervals;
+- **corrupted samples** -- records with garbage (out-of-range) page
+  ids, as a torn PEBS read would produce;
+- **crashes** -- the daemon (or the whole experiment process) dying
+  mid-run, for exercising executor recovery.
+
+Plans are *deterministic*: the same plan (same ``seed``) injected into
+the same simulation produces bit-identical faults, so a chaos run is
+as reproducible as a clean one.  Plans hash into the result-cache
+fingerprint (only when active), so faulted and fault-free results can
+never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, picklable description of the faults to inject."""
+
+    #: Seed of the fault RNG stream (independent of every other seed in
+    #: the simulation, so adding faults never perturbs workload/policy
+    #: randomness).
+    seed: int = 0
+
+    # --- migration faults (numa_move_pages analogues) ---
+    #: Per-page probability that one migration attempt fails
+    #: transiently (EBUSY-style); the page stays put and may be retried.
+    migration_fail_prob: float = 0.0
+    #: Fraction of the machine's pages that are pinned: every migration
+    #: attempt on them fails, forever.  The set is drawn once per
+    #: machine from ``seed``.
+    pinned_fraction: float = 0.0
+    #: Explicit pinned page ids (unioned with the drawn set).
+    pinned_pages: tuple[int, ...] = ()
+    #: Per-``move_pages``-call probability that the *target node* enters
+    #: an ENOMEM burst: this call and the next ``enomem_burst_calls - 1``
+    #: calls targeting the same tier fail wholesale.
+    enomem_prob: float = 0.0
+    #: Length of one ENOMEM burst, in ``move_pages`` calls.
+    enomem_burst_calls: int = 4
+
+    # --- sampling faults (PEBS analogues) ---
+    #: Per-``observe``-call probability that a sample-loss burst starts:
+    #: every sample in this and the next ``sample_loss_burst_batches - 1``
+    #: observed batches is dropped (counted as lost).
+    sample_loss_prob: float = 0.0
+    #: Length of one sample-loss burst, in observed batches.
+    sample_loss_burst_batches: int = 4
+    #: Per-sample probability that the recorded page id is corrupted to
+    #: an out-of-range value (torn record read).
+    sample_corrupt_prob: float = 0.0
+
+    # --- process faults (executor recovery) ---
+    #: Raise :class:`~repro.faults.injector.InjectedCrash` after this
+    #: many simulated batches (None = never).
+    crash_after_batches: int | None = None
+    #: With ``crash_after_batches``: kill the process outright
+    #: (``os._exit``) instead of raising -- produces the
+    #: ``BrokenProcessPool`` a worker segfault would.
+    crash_hard: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("migration_fail_prob", "pinned_fraction",
+                     "enomem_prob", "sample_loss_prob",
+                     "sample_corrupt_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.enomem_burst_calls < 1:
+            raise ValueError(
+                f"enomem_burst_calls must be >= 1, got {self.enomem_burst_calls}"
+            )
+        if self.sample_loss_burst_batches < 1:
+            raise ValueError(
+                "sample_loss_burst_batches must be >= 1, got "
+                f"{self.sample_loss_burst_batches}"
+            )
+        if self.crash_after_batches is not None and self.crash_after_batches < 1:
+            raise ValueError(
+                f"crash_after_batches must be >= 1, got {self.crash_after_batches}"
+            )
+        if any(p < 0 for p in self.pinned_pages):
+            raise ValueError(f"pinned_pages must be >= 0, got {self.pinned_pages}")
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True if this plan injects anything at all."""
+        return bool(
+            self.migration_fail_prob
+            or self.pinned_fraction
+            or self.pinned_pages
+            or self.enomem_prob
+            or self.sample_loss_prob
+            or self.sample_corrupt_prob
+            or self.crash_after_batches is not None
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (cache fingerprinting, CLI round-trip)."""
+        out = dataclasses.asdict(self)
+        out["pinned_pages"] = list(self.pinned_pages)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        fields = dict(data)
+        if "pinned_pages" in fields:
+            fields["pinned_pages"] = tuple(int(p) for p in fields["pinned_pages"])
+        return cls(**fields)
+
+    def replace(self, **overrides: Any) -> "FaultPlan":
+        return dataclasses.replace(self, **overrides)
+
+
+#: Named plans for the CLI and the chaos suite.  ``transient`` is the
+#: default chaos preset the acceptance criteria reference: 1% per-page
+#: migration failure.
+FAULT_PRESETS: dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "transient": FaultPlan(migration_fail_prob=0.01),
+    "pinned": FaultPlan(pinned_fraction=0.01),
+    "enomem": FaultPlan(enomem_prob=0.02, enomem_burst_calls=8),
+    "sample-loss": FaultPlan(sample_loss_prob=0.05, sample_loss_burst_batches=8),
+    "corrupt": FaultPlan(sample_corrupt_prob=0.02),
+    "chaos": FaultPlan(
+        migration_fail_prob=0.01,
+        pinned_fraction=0.005,
+        enomem_prob=0.01,
+        enomem_burst_calls=4,
+        sample_loss_prob=0.02,
+        sample_loss_burst_batches=4,
+        sample_corrupt_prob=0.01,
+    ),
+}
+
+
+def parse_fault_spec(text: str) -> FaultPlan:
+    """Parse a CLI ``--faults`` value: a preset name or inline JSON.
+
+    ``"transient"`` -> the named preset;
+    ``'{"migration_fail_prob": 0.05, "seed": 7}'`` -> a custom plan.
+    """
+    text = text.strip()
+    if text in FAULT_PRESETS:
+        return FAULT_PRESETS[text]
+    if text.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"--faults JSON is invalid: {exc}") from exc
+        return FaultPlan.from_dict(data)
+    valid = ", ".join(sorted(FAULT_PRESETS))
+    raise ValueError(
+        f"unknown fault preset {text!r} (and not inline JSON); "
+        f"presets: {valid}"
+    )

@@ -17,6 +17,7 @@ what FreqTier and the baselines use on Linux (paper Sections IV-V):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,47 @@ from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER, PageTable
 from repro.memsim.tier import CXL1_CONFIG, TieredMemoryConfig
 from repro.memsim.traffic import TrafficMeter
 from repro.obs import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # import cycle guard: faults imports obs only
+    from repro.faults import FaultInjector
+
+_NO_PAGES = np.zeros(0, dtype=np.int64)
+
+
+@dataclass
+class MoveOutcome:
+    """Per-page result of one :meth:`Machine.move_pages_ex` call.
+
+    Mirrors the per-page status array ``numa_move_pages()`` fills in:
+    a page either moved, was rejected for target capacity (ENOMEM past
+    the free watermark -- the pre-existing truncation behaviour), or
+    was failed by the fault injector (transiently, or because it is
+    pinned).  ``enomem`` marks a whole-call target-node failure burst.
+    """
+
+    moved: np.ndarray = field(default_factory=lambda: _NO_PAGES)
+    rejected_capacity: np.ndarray = field(default_factory=lambda: _NO_PAGES)
+    failed_transient: np.ndarray = field(default_factory=lambda: _NO_PAGES)
+    failed_pinned: np.ndarray = field(default_factory=lambda: _NO_PAGES)
+    enomem: bool = False
+
+    @property
+    def num_moved(self) -> int:
+        return int(self.moved.size)
+
+    @property
+    def num_failed(self) -> int:
+        """Fault-failed pages (capacity rejections are not faults)."""
+        return int(self.failed_transient.size + self.failed_pinned.size)
+
+    @property
+    def failed(self) -> np.ndarray:
+        """All fault-failed pages, transient first."""
+        if self.failed_pinned.size == 0:
+            return self.failed_transient
+        if self.failed_transient.size == 0:
+            return self.failed_pinned
+        return np.concatenate((self.failed_transient, self.failed_pinned))
 
 
 @dataclass
@@ -92,6 +134,10 @@ class Machine:
         #: Observability handle; timestamps use ``tracer.clock_ns``
         #: (the engine advances it), as the machine has no clock.
         self.tracer: Tracer = NULL_TRACER
+        #: Optional fault injector (see :mod:`repro.faults`): when set,
+        #: migrations consult it for per-page failures and the access
+        #: path ticks its batch clock.
+        self.fault_injector: FaultInjector | None = None
         self._reserved_local_pages = 0
 
     # -- reservations (e.g. pinned tiering metadata) -----------------------
@@ -213,26 +259,39 @@ class Machine:
 
     # -- migration (numa_move_pages analogue) --------------------------------------
 
-    def move_pages(self, pages: np.ndarray, target_tier: int) -> int:
-        """Migrate ``pages`` to ``target_tier``; returns pages actually moved.
+    def move_pages_ex(self, pages: np.ndarray, target_tier: int) -> MoveOutcome:
+        """Migrate ``pages`` to ``target_tier`` with per-page outcomes.
 
         Pages already on the target tier or unmapped are skipped; the
         move is truncated to the target tier's free capacity (as the
-        kernel call would fail with ENOMEM beyond it).  Traffic is
-        recorded for the pages moved.
+        kernel call would fail with ENOMEM beyond it).  When a fault
+        injector is installed it may additionally fail individual
+        pages (EBUSY/pinned) or the whole call (target-node ENOMEM
+        burst).  Traffic is recorded for the pages moved.
         """
         pages = np.atleast_1d(np.asarray(pages, dtype=np.int64))
         if pages.size == 0:
-            return 0
+            return MoveOutcome()
         placement = self.page_table.tier_of(pages)
         source_tier = LOCAL_TIER if target_tier == CXL_TIER else CXL_TIER
         movable = pages[placement == source_tier]
+        outcome = MoveOutcome()
+        if self.fault_injector is not None and movable.size:
+            (
+                movable,
+                outcome.failed_pinned,
+                outcome.failed_transient,
+                outcome.enomem,
+            ) = self.fault_injector.filter_migration(movable, target_tier)
         free = (
             self.local_free_pages if target_tier == LOCAL_TIER else self.cxl_free_pages
         )
-        moved = movable[: max(0, free)]
+        free = max(0, free)
+        moved = movable[:free]
+        outcome.moved = moved
+        outcome.rejected_capacity = movable[free:]
         if moved.size == 0:
-            return 0
+            return outcome
         self.page_table.place(moved, target_tier)
         promotion = target_tier == LOCAL_TIER
         self.traffic.record_migration(int(moved.size), promotion=promotion)
@@ -243,7 +302,15 @@ class Machine:
             else:
                 self.tracer.observe("demotion_batch_pages", int(moved.size))
                 self.tracer.count("pages_demoted", int(moved.size))
-        return int(moved.size)
+        return outcome
+
+    def move_pages(self, pages: np.ndarray, target_tier: int) -> int:
+        """Migrate ``pages`` to ``target_tier``; returns pages actually moved.
+
+        The count-only convenience over :meth:`move_pages_ex` -- the
+        historical ``numa_move_pages`` analogue interface.
+        """
+        return self.move_pages_ex(pages, target_tier).num_moved
 
     def promote(self, pages: np.ndarray) -> int:
         """Move ``pages`` from CXL to local DRAM (capacity permitting)."""
@@ -253,6 +320,14 @@ class Machine:
         """Move ``pages`` from local DRAM to CXL."""
         return self.move_pages(pages, CXL_TIER)
 
+    def promote_ex(self, pages: np.ndarray) -> MoveOutcome:
+        """:meth:`move_pages_ex` toward local DRAM."""
+        return self.move_pages_ex(pages, LOCAL_TIER)
+
+    def demote_ex(self, pages: np.ndarray) -> MoveOutcome:
+        """:meth:`move_pages_ex` toward CXL."""
+        return self.move_pages_ex(pages, CXL_TIER)
+
     # -- access servicing ---------------------------------------------------------------
 
     def service_accesses(self, page_ids: np.ndarray) -> tuple[int, int]:
@@ -260,8 +335,14 @@ class Machine:
 
         Every page id must be mapped; accessing an unmapped page is a
         simulator bug, not a workload behaviour, so it raises.
+
+        When a fault injector is installed, each serviced batch ticks
+        its batch clock (the engine does this itself for engine-driven
+        runs, which bypass this method).
         """
         page_ids = np.asarray(page_ids, dtype=np.int64)
+        if self.fault_injector is not None:
+            self.fault_injector.tick_batch()
         if page_ids.size == 0:
             return 0, 0
         placement = self.page_table.tier_of(page_ids)

@@ -45,6 +45,13 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "ring_overflow": frozenset({"lost", "reason"}),
     # A parallel-executor cell was served from the result cache.
     "cache_hit": frozenset({"label", "fingerprint"}),
+    # The fault injector fired (kind names the fault class).
+    "fault_injected": frozenset({"kind", "count"}),
+    # A policy re-attempted previously failed migrations.
+    "migration_retry": frozenset({"direction", "count", "moved"}),
+    # Pages that failed migration repeatedly were blacklisted
+    # (pinned-page model: retrying them forever is wasted work).
+    "page_blacklisted": frozenset({"direction", "count"}),
 }
 
 

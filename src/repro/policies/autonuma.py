@@ -160,11 +160,10 @@ class AutoNUMA(TieringPolicy):
             overhead += self._demote_cold(
                 max(machine.demotion_deficit_pages(), int(candidates.size))
             )
-        promoted = machine.promote(candidates)
+        promoted = self._promote_pages(candidates).num_moved
         if promoted:
             overhead += 5_000.0  # move_pages syscall
             self._promoted_in_rate_window += promoted
-            self._record_migrations(promoted, 0)
         return overhead
 
     def _adjust_threshold(self) -> None:
@@ -204,8 +203,7 @@ class AutoNUMA(TieringPolicy):
             + self._last_seen_ns[local_pages]
         )
         coldest_idx = np.argpartition(rank, num_pages - 1)[:num_pages]
-        demoted = machine.demote(local_pages[coldest_idx])
+        demoted = self._demote_pages(local_pages[coldest_idx]).num_moved
         if demoted:
-            self._record_migrations(0, demoted)
             return 5_000.0 + demoted * 50.0  # syscall + LRU bookkeeping
         return 0.0

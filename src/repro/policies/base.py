@@ -21,13 +21,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.memsim.machine import Machine
+from repro.memsim.machine import Machine, MoveOutcome
 from repro.memsim.pagetable import LOCAL_TIER
 from repro.obs import NULL_TRACER, Tracer
 from repro.sampling.events import AccessBatch
+
+if TYPE_CHECKING:
+    from repro.faults import FaultInjector
+
+_NO_PAGES = np.zeros(0, dtype=np.int64)
 
 
 @dataclass
@@ -58,6 +64,144 @@ class PolicyStats:
         return out
 
 
+class MigrationRetryQueue:
+    """Bounded retry queue with capped exponential backoff (in batches).
+
+    Models how a robust userspace daemon treats per-page migration
+    failures (``-EBUSY``, target ENOMEM): the page is *re-queued*, not
+    retried immediately -- the condition that failed it usually needs
+    wall-clock time to clear -- with the backoff doubling per failed
+    attempt up to a cap.  Pages that keep failing are **blacklisted**
+    (the pinned-page model: a long-term GUP pin never unpins because we
+    asked again), after which they are never re-enqueued and callers
+    should exclude them from candidate selection via
+    :meth:`filter_allowed`.
+
+    Invariants (property-tested):
+
+    - an entry's backoff never exceeds ``max_backoff_batches``;
+    - a blacklisted page is never re-enqueued;
+    - the queue never holds more than ``capacity`` entries (failures
+      beyond capacity are dropped -- they will re-qualify through the
+      normal candidate path);
+    - absent new failures, :meth:`due` drains the queue completely
+      within ``max_backoff_batches`` batches.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        base_backoff_batches: int = 1,
+        max_backoff_batches: int = 32,
+        max_attempts: int = 5,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if base_backoff_batches < 1:
+            raise ValueError(
+                f"base_backoff_batches must be >= 1, got {base_backoff_batches}"
+            )
+        if max_backoff_batches < base_backoff_batches:
+            raise ValueError(
+                "need max_backoff_batches >= base_backoff_batches, got "
+                f"{max_backoff_batches} < {base_backoff_batches}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.capacity = int(capacity)
+        self.base_backoff_batches = int(base_backoff_batches)
+        self.max_backoff_batches = int(max_backoff_batches)
+        self.max_attempts = int(max_attempts)
+        #: page -> (failed attempts so far, batch index when due).
+        self._entries: dict[int, tuple[int, int]] = {}
+        self._blacklist: set[int] = set()
+        self._blacklist_arr: np.ndarray | None = None  # rebuilt lazily
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_blacklisted(self) -> int:
+        return len(self._blacklist)
+
+    def backoff_for_attempt(self, attempts: int) -> int:
+        """Backoff in batches after the ``attempts``-th failure (capped)."""
+        shift = min(attempts - 1, 62)  # avoid silly overflow
+        return min(self.base_backoff_batches << shift, self.max_backoff_batches)
+
+    #: Sentinel due-batch for entries handed out by :meth:`due` and not
+    #: yet resolved (so a double drain can never return them twice).
+    _IN_FLIGHT = -1
+
+    def record_failures(
+        self, pages: np.ndarray, now_batch: int
+    ) -> np.ndarray:
+        """Register failed migrations; returns newly blacklisted pages.
+
+        A page already in the queue (including one handed out by
+        :meth:`due` whose retry just failed) keeps its attempt count;
+        a page at ``max_attempts`` failures moves to the blacklist.
+        """
+        newly_blacklisted: list[int] = []
+        for page in np.asarray(pages, dtype=np.int64).tolist():
+            if page in self._blacklist:
+                continue
+            prior = self._entries.get(page)
+            attempts = (prior[0] if prior is not None else 0) + 1
+            if attempts >= self.max_attempts:
+                self._entries.pop(page, None)
+                self._blacklist.add(page)
+                self._blacklist_arr = None
+                newly_blacklisted.append(page)
+                continue
+            if prior is None and len(self._entries) >= self.capacity:
+                continue  # bounded: overflow failures are dropped
+            due = now_batch + self.backoff_for_attempt(attempts)
+            self._entries[page] = (attempts, due)
+        return np.asarray(newly_blacklisted, dtype=np.int64)
+
+    def due(self, now_batch: int) -> np.ndarray:
+        """Pages whose backoff has expired, marked in-flight.
+
+        The caller must resolve each returned page by either
+        :meth:`mark_succeeded` (retry worked, or the page no longer
+        needs moving) or :meth:`record_failures` (retry failed again) --
+        until then the page is not returned by further :meth:`due`
+        calls but still counts against the queue bound.
+        """
+        if not self._entries:
+            return _NO_PAGES
+        ready = [
+            p
+            for p, (_, due) in self._entries.items()
+            if due != self._IN_FLIGHT and due <= now_batch
+        ]
+        if not ready:
+            return _NO_PAGES
+        for page in ready:
+            attempts, _ = self._entries[page]
+            self._entries[page] = (attempts, self._IN_FLIGHT)
+        return np.asarray(sorted(ready), dtype=np.int64)
+
+    def mark_succeeded(self, pages: np.ndarray) -> None:
+        """Drop queue entries for pages that no longer need retrying."""
+        for page in np.asarray(pages, dtype=np.int64).tolist():
+            self._entries.pop(page, None)
+
+    def filter_allowed(self, pages: np.ndarray) -> np.ndarray:
+        """Drop blacklisted pages from a candidate array."""
+        if not self._blacklist or pages.size == 0:
+            return pages
+        if self._blacklist_arr is None:
+            self._blacklist_arr = np.fromiter(
+                sorted(self._blacklist), dtype=np.int64, count=len(self._blacklist)
+            )
+        return pages[~np.isin(pages, self._blacklist_arr)]
+
+    def is_blacklisted(self, page: int) -> bool:
+        return int(page) in self._blacklist
+
+
 class TieringPolicy(abc.ABC):
     """Base class for all tiering systems."""
 
@@ -66,6 +210,7 @@ class TieringPolicy(abc.ABC):
     def __init__(self):
         self.stats = PolicyStats()
         self.tracer: Tracer = NULL_TRACER
+        self.fault_injector: FaultInjector | None = None
         self._machine: Machine | None = None
 
     # -- lifecycle --------------------------------------------------------
@@ -81,6 +226,16 @@ class TieringPolicy(abc.ABC):
         should override this to propagate the tracer to them.
         """
         self.tracer = tracer
+
+    def set_fault_injector(self, injector: FaultInjector | None) -> None:
+        """Install a fault injector (call before attach).
+
+        The base class just records it; policies owning PEBS samplers
+        built at attach time propagate it there (sample-loss and
+        corruption faults), and the machine applies migration faults
+        independently.
+        """
+        self.fault_injector = injector
 
     @property
     def machine(self) -> Machine:
@@ -130,6 +285,48 @@ class TieringPolicy(abc.ABC):
         if demoted:
             self.stats.demotions += demoted
             self.stats.demotion_calls += 1
+
+    def _count_extra(self, name: str, amount: int) -> None:
+        if amount:
+            self.stats.extra[name] = self.stats.extra.get(name, 0) + amount
+
+    def _filter_corrupt_sample_ids(self, page_ids: np.ndarray) -> np.ndarray:
+        """Drop sample ids outside the mapped page range.
+
+        Real PEBS records can carry bogus linear addresses (a race with
+        unmap, or a decoding error); a policy indexing per-page metadata
+        with such an id would crash or pollute a neighbour's counters.
+        Dropped ids are tallied in ``stats.extra["corrupt_samples_filtered"]``.
+        """
+        total = self.machine.config.total_capacity_pages
+        valid = (page_ids >= 0) & (page_ids < total)
+        if valid.all():
+            return page_ids
+        dropped = int(page_ids.size - np.count_nonzero(valid))
+        self._count_extra("corrupt_samples_filtered", dropped)
+        if self.tracer.enabled:
+            self.tracer.count("corrupt_samples_filtered", dropped)
+        return page_ids[valid]
+
+    def _promote_pages(self, pages: np.ndarray) -> MoveOutcome:
+        """Promote with full stats accounting, partial-success aware.
+
+        ``stats.promotions`` counts only pages that *actually moved*
+        (so it always reconciles with the machine's traffic meter, even
+        under injected faults), and fault-failed pages are tallied in
+        ``stats.extra["promotions_failed"]``.
+        """
+        outcome = self.machine.promote_ex(pages)
+        self._record_migrations(outcome.num_moved, 0)
+        self._count_extra("promotions_failed", outcome.num_failed)
+        return outcome
+
+    def _demote_pages(self, pages: np.ndarray) -> MoveOutcome:
+        """Demote with full stats accounting (see :meth:`_promote_pages`)."""
+        outcome = self.machine.demote_ex(pages)
+        self._record_migrations(0, outcome.num_moved)
+        self._count_extra("demotions_failed", outcome.num_failed)
+        return outcome
 
     def describe(self) -> dict[str, object]:
         """Metadata for benchmark reports."""

@@ -67,6 +67,7 @@ class DAMONRegion(TieringPolicy):
         super().attach(machine)
         self.pebs = PEBSSampler(base_period=self.pebs_base_period, seed=self.seed)
         self.pebs.set_level(SamplingLevel.HIGH)
+        self.pebs.fault_injector = self.fault_injector
         total = machine.config.total_capacity_pages
         initial = min(self.min_regions * 4, self.max_regions)
         self._bounds = np.linspace(0, total, initial + 1).astype(np.int64)
@@ -114,9 +115,10 @@ class DAMONRegion(TieringPolicy):
         assert self.pebs is not None and self._bounds is not None
         samples = self.pebs.drain()
         overhead = 20_000.0  # region bookkeeping walk
-        if samples.num_samples:
+        page_ids = self._filter_corrupt_sample_ids(samples.page_ids)
+        if page_ids.size:
             idx = (
-                np.searchsorted(self._bounds, samples.page_ids, side="right") - 1
+                np.searchsorted(self._bounds, page_ids, side="right") - 1
             )
             idx = np.clip(idx, 0, self.num_regions - 1)
             hits = np.bincount(idx, minlength=self.num_regions).astype(
@@ -204,11 +206,12 @@ class DAMONRegion(TieringPolicy):
                 overhead += self._demote_coldest(
                     int(pages.size) - machine.local_free_pages, density
                 )
-            moved = machine.promote(pages[: machine.local_free_pages])
+            moved = self._promote_pages(
+                pages[: machine.local_free_pages]
+            ).num_moved
             if moved:
                 promoted_total += moved
                 overhead += 5_000.0
-                self._record_migrations(moved, 0)
         return overhead
 
     def _demote_coldest(self, num_pages: int, density: np.ndarray) -> float:
@@ -223,9 +226,10 @@ class DAMONRegion(TieringPolicy):
             pages = pages[machine.placement_of(pages) == LOCAL_TIER]
             if pages.size == 0:
                 continue
-            moved = machine.demote(pages[: num_pages - demoted_total])
+            moved = self._demote_pages(
+                pages[: num_pages - demoted_total]
+            ).num_moved
             if moved:
                 demoted_total += moved
                 overhead += 5_000.0
-                self._record_migrations(0, moved)
         return overhead

@@ -71,6 +71,21 @@ class FreqTierConfig:
     pebs_base_period: int = 64
     #: CPU cost per PEBS sample (collection + parse), ns.
     sample_cost_ns: float = 120.0
+    #: PEBS ring-buffer capacity in samples.  None sizes it a few
+    #: sample batches deep (the paper's 512 KB/counter/core rule scaled
+    #: to the simulated sampling volume); set explicitly to model
+    #: constrained rings (overflow/sample-loss studies).
+    pebs_ring_capacity: int | None = None
+
+    # --- migration retry / blacklist (robustness under faults) ---
+    #: Maximum pages queued for migration retry per direction.
+    retry_queue_capacity: int = 4096
+    #: Backoff after the first failed attempt, in batches.
+    retry_base_backoff_batches: int = 1
+    #: Backoff cap: doubling per failed attempt never exceeds this.
+    retry_max_backoff_batches: int = 32
+    #: Failed attempts before a page is blacklisted (pinned-page model).
+    retry_max_attempts: int = 5
 
     # --- runtime placement (paper Section VIII-c) ---
     #: "userspace" (the paper's implementation: LD_PRELOAD runtime

@@ -19,7 +19,7 @@ from repro.cbf.coalescing import SampleCoalescer
 from repro.memsim.machine import Machine
 from repro.memsim.pagetable import CXL_TIER, LOCAL_TIER
 from repro.obs import Tracer
-from repro.policies.base import TieringPolicy
+from repro.policies.base import MigrationRetryQueue, TieringPolicy
 from repro.policies.freqtier.config import FreqTierConfig
 from repro.policies.freqtier.intensity import (
     IntensityController,
@@ -50,6 +50,9 @@ class FreqTier(TieringPolicy):
         self.pebs: PEBSSampler | None = None
         self.intensity: IntensityController | None = None
         self.threshold_ctl: HotThresholdController | None = None
+        self._promo_retry: MigrationRetryQueue | None = None
+        self._demo_retry: MigrationRetryQueue | None = None
+        self._batch_index = 0
         self._scan_cursor = 0
         self._window_accesses = 0
         self._promoted_in_window = 0
@@ -63,6 +66,11 @@ class FreqTier(TieringPolicy):
         super().set_tracer(tracer)
         if self.intensity is not None:
             self.intensity.tracer = tracer
+
+    def set_fault_injector(self, injector) -> None:
+        super().set_fault_injector(injector)
+        if self.pebs is not None:
+            self.pebs.fault_injector = injector
 
     # -- tracking-unit translation (granularity_pages) -----------------
 
@@ -97,13 +105,31 @@ class FreqTier(TieringPolicy):
         )
         self.coalescer = SampleCoalescer(self.cbf)
         # Ring sized a few batches deep (the paper's 512 KB/counter/core
-        # rule scaled to the simulated sampling volume).
+        # rule scaled to the simulated sampling volume) unless the
+        # config pins an explicit capacity.
+        ring_capacity = cfg.pebs_ring_capacity
+        if ring_capacity is None:
+            ring_capacity = max(4 * cfg.sample_batch_size, 32_768)
         self.pebs = PEBSSampler(
             base_period=cfg.pebs_base_period,
-            ring_capacity=max(4 * cfg.sample_batch_size, 32_768),
+            ring_capacity=ring_capacity,
             sample_cost_ns=cfg.sample_cost_ns,
             seed=self.seed + 1,
         )
+        self.pebs.fault_injector = self.fault_injector
+        self._promo_retry = MigrationRetryQueue(
+            capacity=cfg.retry_queue_capacity,
+            base_backoff_batches=cfg.retry_base_backoff_batches,
+            max_backoff_batches=cfg.retry_max_backoff_batches,
+            max_attempts=cfg.retry_max_attempts,
+        )
+        self._demo_retry = MigrationRetryQueue(
+            capacity=cfg.retry_queue_capacity,
+            base_backoff_batches=cfg.retry_base_backoff_batches,
+            max_backoff_batches=cfg.retry_max_backoff_batches,
+            max_attempts=cfg.retry_max_attempts,
+        )
+        self._batch_index = 0
         self.intensity = IntensityController(
             stability_epsilon=cfg.stability_epsilon, tracer=self.tracer
         )
@@ -141,10 +167,11 @@ class FreqTier(TieringPolicy):
         counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.pebs is not None and self.intensity is not None
+        self._batch_index += 1
         n_local, n_cxl = self._batch_counts(batch, tiers, counts)
         self.intensity.count_accesses(n_local, n_cxl)
 
-        overhead = 0.0
+        overhead = self._drain_retries(now_ns)
         if self.intensity.sampling_active:
             self.pebs.set_level(self.intensity.level)
             before = self.pebs.total_samples
@@ -164,6 +191,82 @@ class FreqTier(TieringPolicy):
             overhead += self._close_window(now_ns)
 
         self.stats.overhead_ns += overhead
+        return overhead
+
+    # -- migration retry (fault resilience) ---------------------------------
+
+    def _record_retry_failures(
+        self,
+        queue: MigrationRetryQueue,
+        direction: str,
+        failed: np.ndarray,
+        now_ns: float | None,
+    ) -> None:
+        """Queue failed pages for backed-off retry; trace blacklisting."""
+        newly = queue.record_failures(failed, self._batch_index)
+        if newly.size:
+            self._count_extra(f"{direction}s_blacklisted", int(newly.size))
+            if self.tracer.enabled:
+                self.tracer.count("pages_blacklisted", int(newly.size))
+                self.tracer.emit(
+                    "page_blacklisted",
+                    t_ns=now_ns,
+                    direction=direction,
+                    count=int(newly.size),
+                )
+
+    def _drain_retries(self, now_ns: float) -> float:
+        """Re-attempt previously failed migrations whose backoff expired.
+
+        Demotions drain first so retried demotions can free the room
+        that retried promotions then claim (the watermark protocol's
+        ordering).  Pages whose placement already matches the wanted
+        side -- moved by some other path meanwhile -- are dropped from
+        the queue without a migration call.
+        """
+        assert self._promo_retry is not None and self._demo_retry is not None
+        overhead = 0.0
+        plan = (
+            ("demote", self._demo_retry, LOCAL_TIER, self._demote_pages),
+            ("promote", self._promo_retry, CXL_TIER, self._promote_pages),
+        )
+        for direction, queue, wanted_tier, mover in plan:
+            due = queue.due(self._batch_index)
+            if due.size == 0:
+                continue
+            placement = self.machine.placement_of(due)
+            moot = due[placement != wanted_tier]
+            if moot.size:
+                queue.mark_succeeded(moot)
+            still = due[placement == wanted_tier]
+            moved = 0
+            if still.size:
+                if direction == "promote":
+                    overhead += self._make_room(int(still.size))
+                outcome = mover(still)
+                moved = outcome.num_moved
+                overhead += self.config.effective_move_pages_ns
+                if direction == "promote":
+                    self._promoted_in_window += moved
+                # Moved pages leave the queue; capacity-rejected pages
+                # also leave (not a fault -- they re-qualify through the
+                # normal candidate path); fault-failed pages re-enter
+                # with their attempt count intact.
+                queue.mark_succeeded(outcome.moved)
+                queue.mark_succeeded(outcome.rejected_capacity)
+                if outcome.num_failed:
+                    self._record_retry_failures(
+                        queue, direction, outcome.failed, now_ns
+                    )
+            if self.tracer.enabled:
+                self.tracer.count(f"{direction}_retries", int(due.size))
+                self.tracer.emit(
+                    "migration_retry",
+                    t_ns=now_ns,
+                    direction=direction,
+                    count=int(due.size),
+                    moved=int(moved),
+                )
         return overhead
 
     # -- windows (dynamic intensity) --------------------------------------------
@@ -239,14 +342,20 @@ class FreqTier(TieringPolicy):
             )
         if samples.num_samples == 0:
             return 0.0
+        # Discard corrupted sample ids *before* they touch the CBF: an
+        # out-of-range id would otherwise pollute counters shared (via
+        # hashing) with real pages.
+        page_ids = self._filter_corrupt_sample_ids(samples.page_ids)
+        if page_ids.size == 0:
+            return 0.0
         self._rounds_in_window += 1
-        unit_ids = self._units_of(samples.page_ids)
+        unit_ids = self._units_of(page_ids)
         unique_units, freqs = self.coalescer.ingest(unit_ids)
         overhead = unique_units.size * cfg.cbf_op_ns
-        self.stats.samples_processed += samples.num_samples
+        self.stats.samples_processed += int(page_ids.size)
         if self.tracer.enabled:
             self.tracer.count("cbf_ops", int(unique_units.size))
-            self.tracer.observe("sample_batch_size", samples.num_samples)
+            self.tracer.observe("sample_batch_size", int(page_ids.size))
 
         # Periodic aging keeps frequencies fresh (Section V-A).  The
         # interval is *subtracted*, not reset to zero: a sample batch
@@ -279,13 +388,22 @@ class FreqTier(TieringPolicy):
             hot = hot[hot < self.machine.config.total_capacity_pages]
             placement = self.machine.placement_of(hot)
             candidates = hot[placement == CXL_TIER]
+            # Blacklisted pages (repeated migration failures: the
+            # pinned-page model) are excluded up front -- re-attempting
+            # them is pure wasted syscall time.
+            assert self._promo_retry is not None
+            candidates = self._promo_retry.filter_allowed(candidates)
             if candidates.size:
                 overhead += self._make_room(int(candidates.size))
-                promoted = self.machine.promote(candidates)
+                outcome = self._promote_pages(candidates)
+                promoted = outcome.num_moved
                 if promoted:
                     overhead += cfg.effective_move_pages_ns
                     self._promoted_in_window += promoted
-                    self._record_migrations(promoted, 0)
+                if outcome.num_failed:
+                    self._record_retry_failures(
+                        self._promo_retry, "promote", outcome.failed, now_ns
+                    )
                 if self.tracer.enabled:
                     self.tracer.emit(
                         "promotion",
@@ -322,12 +440,19 @@ class FreqTier(TieringPolicy):
 
     def _demote_until(self, target_free_pages: int) -> float:
         assert self.cbf is not None and self.threshold_ctl is not None
+        assert self._demo_retry is not None
         cfg = self.config
         machine = self.machine
         space = machine.address_space
         table = machine.page_table
         threshold = self.threshold_ctl.threshold
 
+        # Checkpoint: if the batched demotion at the end fails outright
+        # (injected ENOMEM / transient faults), rewind the scan cursor
+        # so the cold pages found this pass are rediscovered by the
+        # next scan instead of being silently skipped for a full lap of
+        # the address space.
+        cursor_checkpoint = self._scan_cursor
         overhead = 0.0
         to_demote: list[np.ndarray] = []
         collected = 0
@@ -357,6 +482,7 @@ class FreqTier(TieringPolicy):
             )
             overhead += local_pages.size * cfg.cbf_op_ns
             cold = local_pages[freqs < threshold]
+            cold = self._demo_retry.filter_allowed(cold)
             if cold.size:
                 need = target_free_pages - machine.local_free_pages - collected
                 cold = cold[: max(need, 0)]
@@ -366,10 +492,18 @@ class FreqTier(TieringPolicy):
 
         demoted = 0
         if to_demote:
-            demoted = machine.demote(np.concatenate(to_demote))
+            outcome = self._demote_pages(np.concatenate(to_demote))
+            demoted = outcome.num_moved
             if demoted:
                 overhead += cfg.effective_move_pages_ns
-                self._record_migrations(0, demoted)
+            if outcome.num_failed:
+                self._record_retry_failures(
+                    self._demo_retry, "demote", outcome.failed, None
+                )
+                if demoted == 0:
+                    # Total fault failure: nothing moved, so keep the
+                    # checkpoint where this pass started.
+                    self._scan_cursor = cursor_checkpoint
         elif scanned >= scan_limit:
             # A full pass found nothing cold: local DRAM is all hot.
             self._empty_scan_in_window = True

@@ -70,6 +70,7 @@ class HeMem(TieringPolicy):
             seed=self.seed + 1,
         )
         self.pebs.set_level(SamplingLevel.HIGH)
+        self.pebs.fault_injector = self.fault_injector
         # Total metadata is 168 B for every page under management --
         # ~4% of the footprint, the paper's Section VII-C comparison
         # point (11 GB for 267 GB, 110x FreqTier).  The *hot* slice of
@@ -114,10 +115,13 @@ class HeMem(TieringPolicy):
         samples = self.pebs.drain()
         if samples.num_samples == 0:
             return 0.0
+        page_ids = self._filter_corrupt_sample_ids(samples.page_ids)
+        if page_ids.size == 0:
+            return 0.0
         # No coalescing: one hash-table update per sample.
-        freqs = self.tracker.increment(samples.page_ids)
-        overhead = samples.num_samples * self.table_update_ns
-        self.stats.samples_processed += samples.num_samples
+        freqs = self.tracker.increment(page_ids)
+        overhead = int(page_ids.size) * self.table_update_ns
+        self.stats.samples_processed += int(page_ids.size)
 
         self._samples_since_aging += samples.num_samples
         if self._samples_since_aging >= self.aging_interval_samples:
@@ -126,7 +130,7 @@ class HeMem(TieringPolicy):
             self.tracker.age()
             self._samples_since_aging = 0
 
-        hot = samples.page_ids[freqs >= self.hot_threshold]
+        hot = page_ids[freqs >= self.hot_threshold]
         if hot.size:
             hot = np.unique(hot)
             # Hottest first, and never churn more than half the local
@@ -146,10 +150,9 @@ class HeMem(TieringPolicy):
             overhead += self._demote_coldest(
                 max(machine.demotion_deficit_pages(), int(candidates.size))
             )
-        promoted = machine.promote(candidates)
+        promoted = self._promote_pages(candidates).num_moved
         if promoted:
             overhead += 5_000.0
-            self._record_migrations(promoted, 0)
         return overhead
 
     def _demote_coldest(self, num_pages: int) -> float:
@@ -161,10 +164,9 @@ class HeMem(TieringPolicy):
         num_pages = min(num_pages, int(local_pages.size))
         freqs = self.tracker.get(local_pages)
         coldest_idx = np.argpartition(freqs, num_pages - 1)[:num_pages]
-        demoted = machine.demote(local_pages[coldest_idx])
+        demoted = self._demote_pages(local_pages[coldest_idx]).num_moved
         overhead = local_pages.size * 10.0  # metadata walk to rank pages
         if demoted:
-            self._record_migrations(0, demoted)
             overhead += 5_000.0
         return overhead
 

@@ -47,6 +47,7 @@ class MultiClock(TieringPolicy):
         super().attach(machine)
         self.pebs = PEBSSampler(base_period=self.pebs_base_period, seed=self.seed)
         self.pebs.set_level(SamplingLevel.HIGH)
+        self.pebs.fault_injector = self.fault_injector
         self._seen = np.zeros(machine.config.total_capacity_pages, dtype=np.int8)
 
     def on_batch(
@@ -71,8 +72,11 @@ class MultiClock(TieringPolicy):
         samples = self.pebs.drain()
         if samples.num_samples == 0:
             return 0.0
-        self.stats.samples_processed += samples.num_samples
-        pages, counts = np.unique(samples.page_ids, return_counts=True)
+        page_ids = self._filter_corrupt_sample_ids(samples.page_ids)
+        if page_ids.size == 0:
+            return 0.0
+        self.stats.samples_processed += int(page_ids.size)
+        pages, counts = np.unique(page_ids, return_counts=True)
         prior = self._seen[pages]
         new_state = np.minimum(prior + np.minimum(counts, 2), 2).astype(np.int8)
         self._seen[pages] = new_state
@@ -102,10 +106,9 @@ class MultiClock(TieringPolicy):
             overhead += self._demote_singletons(
                 max(machine.demotion_deficit_pages(), int(candidates.size))
             )
-        promoted = machine.promote(candidates)
+        promoted = self._promote_pages(candidates).num_moved
         if promoted:
             overhead += 5_000.0
-            self._record_migrations(promoted, 0)
         return overhead
 
     def _demote_singletons(self, num_pages: int) -> float:
@@ -118,8 +121,7 @@ class MultiClock(TieringPolicy):
         seen = self._seen[local_pages]
         # Coldest first: unseen (0), then seen-once (1).
         order = np.argsort(seen, kind="stable")[: min(num_pages, local_pages.size)]
-        demoted = machine.demote(local_pages[order])
+        demoted = self._demote_pages(local_pages[order]).num_moved
         if demoted:
-            self._record_migrations(0, demoted)
             return 5_000.0
         return 0.0

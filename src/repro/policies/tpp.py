@@ -152,10 +152,9 @@ class TPP(TieringPolicy):
             overhead += self._demote_lru(
                 max(machine.demotion_deficit_pages(), int(candidates.size))
             )
-        promoted = machine.promote(candidates)
+        promoted = self._promote_pages(candidates).num_moved
         if promoted:
             overhead += 5_000.0
-            self._record_migrations(promoted, 0)
         return overhead
 
     # -- demotion (plain LRU on fault recency) -------------------------------------
@@ -169,8 +168,7 @@ class TPP(TieringPolicy):
         num_pages = min(num_pages, int(local_pages.size))
         recency = self._lru_snapshot[local_pages]
         coldest_idx = np.argpartition(recency, num_pages - 1)[:num_pages]
-        demoted = machine.demote(local_pages[coldest_idx])
+        demoted = self._demote_pages(local_pages[coldest_idx]).num_moved
         if demoted:
-            self._record_migrations(0, demoted)
             return 5_000.0 + demoted * 50.0
         return 0.0

@@ -95,6 +95,10 @@ class PEBSSampler:
         self.ring_capacity = int(ring_capacity)
         self.sample_cost_ns = float(sample_cost_ns)
         self.level = SamplingLevel.HIGH
+        #: Optional :class:`~repro.faults.FaultInjector`: when set,
+        #: :meth:`observe` is subject to sample-loss bursts (counted as
+        #: lost, like ring overruns) and sample-id corruption.
+        self.fault_injector = None
         self._rng = np.random.default_rng(seed)
         self._pending_pages: list[np.ndarray] = []
         self._pending_tiers: list[np.ndarray] = []
@@ -153,6 +157,15 @@ class PEBSSampler:
         n_hit = int(positions.size)
         if n_hit == 0:
             return
+        if self.fault_injector is not None:
+            injected_loss = self.fault_injector.sample_loss(n_hit)
+            if injected_loss:
+                # Loss bursts drop the whole observed batch, exactly
+                # like a ring overrun -- reported through the same
+                # lost-sample accounting.
+                self._lost += injected_loss
+                self.total_lost += injected_loss
+                return
         space = self.ring_capacity - self._pending_count
         if space <= 0:
             self._lost += n_hit
@@ -163,7 +176,10 @@ class PEBSSampler:
             self.total_lost += n_hit - space
             positions = positions[:space]
             n_hit = space
-        self._pending_pages.append(batch.page_ids[positions])
+        sampled_pages = batch.page_ids[positions]
+        if self.fault_injector is not None:
+            sampled_pages = self.fault_injector.corrupt_samples(sampled_pages)
+        self._pending_pages.append(sampled_pages)
         self._pending_tiers.append(np.asarray(tiers)[positions])
         self._pending_count += n_hit
         self.total_samples += n_hit

@@ -101,6 +101,95 @@ def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
     assert cache.get(fp) is None
 
 
+class TestQuarantine:
+    def test_corrupt_json_quarantined_then_recomputable(self, tmp_path):
+        """A truncated/garbled entry becomes a miss, is renamed to
+        ``.corrupt`` (kept for diagnosis, never re-read), and the slot
+        is free for the recomputed result."""
+        cache = ResultCache(tmp_path)
+        fp = _spec().fingerprint()
+        cache.path_for(fp).write_text('{"schema": 1, "result"', encoding="utf-8")
+        assert cache.get(fp) is None
+        assert not cache.path_for(fp).exists()
+        assert cache.path_for(fp).with_suffix(".corrupt").exists()
+
+        result = run_cell(_spec())
+        cache.put(fp, result)
+        hit = cache.get(fp)
+        assert hit is not None and hit.to_dict() == result.to_dict()
+
+    def test_undeserializable_payload_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = "b" * 64
+        cache.path_for(fp).write_text(
+            json.dumps({"schema": cache_mod.SCHEMA_VERSION, "result": {"x": 1}}),
+            encoding="utf-8",
+        )
+        assert cache.get(fp) is None
+        assert cache.path_for(fp).with_suffix(".corrupt").exists()
+
+    def test_schema_mismatch_is_plain_miss_not_quarantine(self, tmp_path):
+        """An old-schema entry is valid data, just stale: orphan it in
+        place, do not brand it corrupt."""
+        cache = ResultCache(tmp_path)
+        fp = "c" * 64
+        cache.path_for(fp).write_text(
+            json.dumps({"schema": -1, "result": {}}), encoding="utf-8"
+        )
+        assert cache.get(fp) is None
+        assert cache.path_for(fp).exists()
+        assert not cache.path_for(fp).with_suffix(".corrupt").exists()
+
+    def test_absent_entry_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("d" * 64) is None
+        assert not list(tmp_path.glob("*.corrupt"))
+
+
+class TestFaultFingerprinting:
+    """Fault plans join the cache key only when they inject something,
+    so pre-existing fault-free cache entries stay valid."""
+
+    def test_no_plan_and_inactive_plan_share_fingerprint(self):
+        from repro.faults import FaultPlan
+
+        bare = _spec()
+        inactive = _spec(faults=FaultPlan(seed=99))
+        assert not inactive.faults.active
+        assert bare.fingerprint() == inactive.fingerprint()
+
+    def test_active_plan_changes_fingerprint(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(migration_fail_prob=0.01)
+        assert _spec(faults=plan).fingerprint() != _spec().fingerprint()
+
+    def test_fault_seed_is_part_of_the_key(self):
+        from repro.faults import FaultPlan
+
+        a = _spec(faults=FaultPlan(migration_fail_prob=0.01, seed=1))
+        b = _spec(faults=FaultPlan(migration_fail_prob=0.01, seed=2))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_faulted_and_fault_free_results_never_collide(self, tmp_path):
+        """End to end: run a faulted grid, then the fault-free twin --
+        the second run must miss the faulted entries entirely."""
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(migration_fail_prob=0.05)
+        faulted = ParallelExecutor(jobs=1, cache=tmp_path)
+        fault_free = ParallelExecutor(jobs=1, cache=tmp_path)
+        a = faulted.run_one(_spec(faults=plan))
+        b = fault_free.run_one(_spec())
+        assert faulted.stats.cache_hits == 0
+        assert fault_free.stats.cache_hits == 0
+        assert a.to_dict() != b.to_dict()
+
+        warm = ParallelExecutor(jobs=1, cache=tmp_path)
+        assert warm.run_one(_spec()).to_dict() == b.to_dict()
+        assert warm.stats.cache_hits == 1
+
+
 def test_executor_cache_integration(tmp_path):
     """Second run of the same cells is served fully from cache."""
     specs = [_spec(), _spec(policy=None)]

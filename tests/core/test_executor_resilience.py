@@ -1,0 +1,157 @@
+"""Executor resilience: retries, keep_going, crash recovery, timeouts.
+
+Crash cells are built from fault plans, not special policies:
+``crash_after_batches`` raises :class:`InjectedCrash` inside the cell
+(an ordinary, attributable worker exception) and ``crash_hard=True``
+calls ``os._exit`` -- the unattributable worker death that breaks the
+whole ``ProcessPoolExecutor``, exactly like a segfaulting daemon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.parallel import (
+    CellSpec,
+    FailedCell,
+    ParallelExecutor,
+    PolicySpec,
+    WorkloadSpec,
+)
+from repro.faults import FaultPlan, InjectedCrash
+
+WORKLOAD = WorkloadSpec("zipf", num_pages=512, alpha=1.1, seed=3)
+POLICY = PolicySpec("freqtier", seed=3)
+CONFIG = ExperimentConfig(local_fraction=0.1, max_batches=8, seed=3)
+
+SOFT_CRASH = FaultPlan(crash_after_batches=2)
+HARD_CRASH = FaultPlan(crash_after_batches=2, crash_hard=True)
+
+
+def _grid(crash_plan=None, crash_at=1, n=3):
+    """n cells; the one at ``crash_at`` carries the crash plan."""
+    return [
+        CellSpec(
+            WORKLOAD,
+            POLICY.with_params(seed=10 + i),
+            CONFIG,
+            label=f"cell{i}",
+            faults=crash_plan if i == crash_at else None,
+        )
+        for i in range(n)
+    ]
+
+
+def _reference_results():
+    """Fault-free serial results for the non-crashing grid positions."""
+    return ParallelExecutor(jobs=1).run(_grid(crash_plan=None))
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="cell_timeout"):
+            ParallelExecutor(jobs=1, cell_timeout=0)
+        with pytest.raises(ValueError, match="retries"):
+            ParallelExecutor(jobs=1, retries=-1)
+
+
+class TestSerialPath:
+    def test_crash_raises_by_default(self):
+        with pytest.raises(InjectedCrash):
+            ParallelExecutor(jobs=1).run(_grid(SOFT_CRASH))
+
+    def test_keep_going_records_exactly_one_failed_cell(self):
+        ex = ParallelExecutor(jobs=1, keep_going=True)
+        results = ex.run(_grid(SOFT_CRASH))
+        reference = _reference_results()
+        assert isinstance(results[1], FailedCell)
+        assert results[1].label == "cell1"
+        assert results[1].attempts == 1
+        assert "InjectedCrash" in results[1].error
+        for i in (0, 2):
+            assert results[i].to_dict() == reference[i].to_dict()
+        assert ex.stats.failures == 1
+        assert ex.stats.executed == 3
+
+    def test_retry_budget_and_accounting(self):
+        ex = ParallelExecutor(jobs=1, retries=2, keep_going=True)
+        results = ex.run(_grid(SOFT_CRASH))
+        assert isinstance(results[1], FailedCell)
+        assert results[1].attempts == 3  # 1 try + 2 retries
+        assert ex.stats.retries == 2
+        assert ex.stats.failures == 1
+
+
+class TestPoolPath:
+    def test_ordinary_worker_exception_keeps_pool_alive(self):
+        ex = ParallelExecutor(jobs=2, keep_going=True)
+        results = ex.run(_grid(SOFT_CRASH))
+        reference = _reference_results()
+        assert isinstance(results[1], FailedCell)
+        for i in (0, 2):
+            assert results[i].to_dict() == reference[i].to_dict()
+        assert ex.stats.pool_rebuilds == 0
+        assert ex.stats.failures == 1
+
+    def test_hard_crash_recovers_other_cells(self):
+        """A worker dying mid-cell breaks the pool; the executor must
+        rebuild it, isolate, attribute the crash, and return every
+        innocent cell's result bit-identical to a clean serial run."""
+        ex = ParallelExecutor(jobs=2, keep_going=True)
+        results = ex.run(_grid(HARD_CRASH))
+        reference = _reference_results()
+        assert isinstance(results[1], FailedCell)
+        assert results[1].label == "cell1"
+        for i in (0, 2):
+            assert results[i].to_dict() == reference[i].to_dict()
+        assert ex.stats.pool_rebuilds >= 1
+        assert ex.stats.failures == 1
+        assert ex.stats.executed == 3
+
+    def test_hard_crash_raises_without_keep_going(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with pytest.raises(BrokenProcessPool):
+            ParallelExecutor(jobs=2).run(_grid(HARD_CRASH))
+
+    def test_hard_crash_with_retries_charges_only_the_crasher(self):
+        ex = ParallelExecutor(jobs=2, retries=1, keep_going=True)
+        results = ex.run(_grid(HARD_CRASH))
+        assert isinstance(results[1], FailedCell)
+        assert results[1].attempts == 2  # charged once per isolated crash
+        assert ex.stats.retries == 1
+        assert ex.stats.failures == 1
+
+    def test_running_cell_timeout_fails_cell_and_rebuilds_pool(self):
+        slow = ExperimentConfig(local_fraction=0.1, max_batches=100_000, seed=3)
+        big = WorkloadSpec(
+            "zipf", num_pages=4096, alpha=1.1, accesses_per_batch=50_000, seed=3
+        )
+        specs = [
+            CellSpec(big, POLICY.with_params(seed=s), slow, label=f"slow{s}")
+            for s in (0, 1)
+        ]
+        ex = ParallelExecutor(jobs=2, cell_timeout=0.5, keep_going=True)
+        results = ex.run(specs)
+        assert all(isinstance(r, FailedCell) for r in results)
+        assert all("cell_timeout" in r.error for r in results)
+        assert ex.stats.timeouts >= 1
+        assert ex.stats.pool_rebuilds >= 1
+        assert ex.stats.failures == 2
+
+
+class TestFailureCaching:
+    def test_failed_cells_never_cached(self, tmp_path):
+        ex = ParallelExecutor(jobs=1, keep_going=True, cache=tmp_path)
+        specs = _grid(SOFT_CRASH)
+        results = ex.run(specs)
+        assert isinstance(results[1], FailedCell)
+        assert ex.stats.cached_results == 2  # only the two good cells
+        assert specs[1].fingerprint() not in ex.cache
+
+        rerun = ParallelExecutor(jobs=1, keep_going=True, cache=tmp_path)
+        again = rerun.run(specs)
+        assert rerun.stats.cache_hits == 2
+        assert rerun.stats.executed == 1  # the crasher re-ran (and re-failed)
+        assert isinstance(again[1], FailedCell)

@@ -1,0 +1,159 @@
+"""FaultInjector: deterministic fault draws at each contact point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, InjectedCrash
+
+PAGES = np.arange(10, dtype=np.int64)
+
+
+def _inj(plan: FaultPlan, total_pages: int = 100) -> FaultInjector:
+    return FaultInjector(plan, total_pages)
+
+
+class TestConstruction:
+    def test_total_pages_validated(self):
+        with pytest.raises(ValueError, match="total_pages"):
+            _inj(FaultPlan(), total_pages=0)
+
+    def test_explicit_pinned_pages(self):
+        inj = _inj(FaultPlan(pinned_pages=(3, 7, 500)))
+        # Out-of-range pins are ignored (nothing there to pin).
+        assert inj.pinned_pages.tolist() == [3, 7]
+
+    def test_pinned_draw_deterministic(self):
+        plan = FaultPlan(pinned_fraction=0.1, seed=5)
+        a, b = _inj(plan), _inj(plan)
+        assert a.pinned_pages.tolist() == b.pinned_pages.tolist()
+        assert a.pinned_pages.size == 10  # 10% of 100
+
+
+class TestMigrationFaults:
+    def test_no_faults_passes_everything(self):
+        allowed, pinned, transient, enomem = _inj(FaultPlan()).filter_migration(
+            PAGES, target_tier=0
+        )
+        assert allowed.tolist() == PAGES.tolist()
+        assert pinned.size == 0 and transient.size == 0 and not enomem
+
+    def test_certain_transient_failure(self):
+        inj = _inj(FaultPlan(migration_fail_prob=1.0))
+        allowed, pinned, transient, enomem = inj.filter_migration(PAGES, 0)
+        assert allowed.size == 0 and pinned.size == 0 and not enomem
+        assert transient.tolist() == PAGES.tolist()
+        assert inj.counters["migration_transient"] == PAGES.size
+
+    def test_pinned_dominates_transient(self):
+        inj = _inj(FaultPlan(migration_fail_prob=1.0, pinned_pages=(4,)))
+        allowed, pinned, transient, _ = inj.filter_migration(PAGES, 0)
+        assert pinned.tolist() == [4]
+        assert 4 not in transient.tolist()
+        assert inj.counters["migration_pinned"] == 1
+
+    def test_empty_call_is_noop(self):
+        inj = _inj(FaultPlan(migration_fail_prob=1.0, enomem_prob=1.0))
+        empty = np.zeros(0, dtype=np.int64)
+        allowed, pinned, transient, enomem = inj.filter_migration(empty, 0)
+        assert allowed.size == 0 and not enomem
+        assert all(v == 0 for v in inj.counters.values())
+
+    def test_enomem_fails_whole_call(self):
+        inj = _inj(FaultPlan(enomem_prob=1.0, enomem_burst_calls=3))
+        allowed, pinned, transient, enomem = inj.filter_migration(PAGES, 0)
+        assert enomem
+        assert allowed.size == 0
+        assert transient.tolist() == PAGES.tolist()  # caller can't tell why
+        assert inj.counters["migration_enomem"] == PAGES.size
+
+    def test_enomem_burst_is_per_tier(self):
+        inj = _inj(FaultPlan(enomem_prob=1.0, enomem_burst_calls=4))
+        inj.filter_migration(PAGES, target_tier=0)
+        # Tier 0's burst has 3 calls left; tier 1 starts its own burst.
+        assert inj._enomem_left[0] == 3
+        inj.filter_migration(PAGES, target_tier=1)
+        assert inj._enomem_left[0] == 3
+        assert inj._enomem_left[1] == 3
+
+    def test_enomem_burst_counts_down(self):
+        inj = _inj(FaultPlan(enomem_prob=1.0, enomem_burst_calls=3))
+        for expected_left in (2, 1, 0):
+            _, _, _, enomem = inj.filter_migration(PAGES, 0)
+            assert enomem
+            assert inj._enomem_left[0] == expected_left
+
+
+class TestSamplingFaults:
+    def test_loss_burst_all_or_nothing(self):
+        inj = _inj(FaultPlan(sample_loss_prob=1.0, sample_loss_burst_batches=2))
+        assert inj.sample_loss(10) == 10
+        assert inj.sample_loss(7) == 7
+        assert inj.counters["samples_lost"] == 17
+
+    def test_no_loss_without_plan(self):
+        inj = _inj(FaultPlan())
+        assert inj.sample_loss(10) == 0
+        assert inj.sample_loss(0) == 0
+
+    def test_corruption_is_out_of_range_and_copy_on_write(self):
+        inj = _inj(FaultPlan(sample_corrupt_prob=1.0), total_pages=50)
+        original = PAGES.copy()
+        corrupted = inj.corrupt_samples(PAGES)
+        assert PAGES.tolist() == original.tolist()  # input never mutated
+        assert corrupted is not PAGES
+        assert (corrupted >= 50).all()
+        assert inj.counters["samples_corrupted"] == PAGES.size
+
+    def test_zero_probability_returns_input(self):
+        inj = _inj(FaultPlan())
+        assert inj.corrupt_samples(PAGES) is PAGES
+
+    def test_corruption_deterministic(self):
+        plan = FaultPlan(sample_corrupt_prob=0.5, seed=9)
+        a = _inj(plan).corrupt_samples(PAGES)
+        b = _inj(plan).corrupt_samples(PAGES)
+        assert a.tolist() == b.tolist()
+
+
+class TestCrashSchedule:
+    def test_crash_fires_at_exact_batch(self):
+        inj = _inj(FaultPlan(crash_after_batches=3))
+        inj.tick_batch()
+        inj.tick_batch()
+        with pytest.raises(InjectedCrash, match="after 3 batches"):
+            inj.tick_batch()
+
+    def test_no_crash_without_schedule(self):
+        inj = _inj(FaultPlan())
+        for _ in range(100):
+            inj.tick_batch()
+        assert inj.batch_index == 100
+
+
+class TestDeterminism:
+    def test_identical_call_sequences_identical_outcomes(self):
+        plan = FaultPlan(
+            migration_fail_prob=0.3,
+            pinned_fraction=0.05,
+            enomem_prob=0.1,
+            sample_loss_prob=0.2,
+            sample_corrupt_prob=0.1,
+            seed=17,
+        )
+        trail_a, trail_b = [], []
+        for trail in (trail_a, trail_b):
+            inj = _inj(plan, total_pages=200)
+            for i in range(20):
+                pages = np.arange(i, i + 15, dtype=np.int64)
+                allowed, pinned, transient, enomem = inj.filter_migration(
+                    pages, target_tier=i % 2
+                )
+                trail.append(
+                    (allowed.tolist(), pinned.tolist(), transient.tolist(), enomem)
+                )
+                trail.append(inj.sample_loss(i))
+                trail.append(inj.corrupt_samples(pages).tolist())
+            trail.append(dict(inj.counters))
+        assert trail_a == trail_b

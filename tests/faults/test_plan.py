@@ -1,0 +1,125 @@
+"""FaultPlan: validation, identity, serialization, CLI parsing."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults import FAULT_PRESETS, FaultPlan, parse_fault_spec
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "migration_fail_prob",
+            "pinned_fraction",
+            "enomem_prob",
+            "sample_loss_prob",
+            "sample_corrupt_prob",
+        ],
+    )
+    def test_probabilities_bounded(self, field):
+        FaultPlan(**{field: 0.0})
+        FaultPlan(**{field: 1.0})
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: -0.1})
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.1})
+
+    def test_burst_lengths_positive(self):
+        with pytest.raises(ValueError, match="enomem_burst_calls"):
+            FaultPlan(enomem_burst_calls=0)
+        with pytest.raises(ValueError, match="sample_loss_burst_batches"):
+            FaultPlan(sample_loss_burst_batches=0)
+
+    def test_crash_after_batches_positive(self):
+        with pytest.raises(ValueError, match="crash_after_batches"):
+            FaultPlan(crash_after_batches=0)
+
+    def test_pinned_pages_nonnegative(self):
+        with pytest.raises(ValueError, match="pinned_pages"):
+            FaultPlan(pinned_pages=(3, -1))
+
+
+class TestActive:
+    def test_default_plan_is_inactive(self):
+        assert not FaultPlan().active
+        assert not FaultPlan(seed=42).active  # seed alone injects nothing
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"migration_fail_prob": 0.01},
+            {"pinned_fraction": 0.01},
+            {"pinned_pages": (7,)},
+            {"enomem_prob": 0.01},
+            {"sample_loss_prob": 0.01},
+            {"sample_corrupt_prob": 0.01},
+            {"crash_after_batches": 5},
+        ],
+    )
+    def test_each_fault_class_activates(self, fields):
+        assert FaultPlan(**fields).active
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            seed=9,
+            migration_fail_prob=0.05,
+            pinned_pages=(1, 2, 3),
+            enomem_prob=0.02,
+            crash_after_batches=7,
+            crash_hard=True,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"migration_fial_prob": 0.1})
+
+    def test_replace(self):
+        base = FaultPlan(migration_fail_prob=0.01)
+        varied = base.replace(seed=3)
+        assert varied.seed == 3
+        assert varied.migration_fail_prob == 0.01
+        assert base.seed == 0  # frozen original untouched
+
+    def test_picklable(self):
+        plan = FaultPlan(pinned_fraction=0.01, seed=4)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestPresets:
+    def test_all_presets_are_plans(self):
+        for name, plan in FAULT_PRESETS.items():
+            assert isinstance(plan, FaultPlan), name
+
+    def test_none_preset_inactive_others_active(self):
+        assert not FAULT_PRESETS["none"].active
+        for name, plan in FAULT_PRESETS.items():
+            if name != "none":
+                assert plan.active, name
+
+    def test_transient_preset_is_one_percent(self):
+        assert FAULT_PRESETS["transient"].migration_fail_prob == 0.01
+
+
+class TestParseFaultSpec:
+    def test_preset_name(self):
+        assert parse_fault_spec("transient") == FAULT_PRESETS["transient"]
+        assert parse_fault_spec("  chaos  ") == FAULT_PRESETS["chaos"]
+
+    def test_inline_json(self):
+        plan = parse_fault_spec('{"migration_fail_prob": 0.05, "seed": 7}')
+        assert plan == FaultPlan(migration_fail_prob=0.05, seed=7)
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ValueError, match="invalid"):
+            parse_fault_spec("{not json")
+
+    def test_unknown_preset_lists_choices(self):
+        with pytest.raises(ValueError, match="presets:"):
+            parse_fault_spec("no-such-preset")

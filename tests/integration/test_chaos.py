@@ -1,0 +1,173 @@
+"""Chaos suite: fault-injected runs stay correct, deterministic, close.
+
+The robustness acceptance criteria:
+
+- a fixed fault seed makes a faulted run **bit-identical** across
+  repeats (determinism survives injection);
+- the default ``transient`` preset (1% per-page migration failure)
+  keeps FreqTier's final hit ratio within 2pp of the fault-free run,
+  and every other fault class converges within its own tolerance;
+- an *inactive* plan is indistinguishable from passing no plan at all;
+- policy migration stats reconcile exactly with the machine's traffic
+  meter even when every move can partially fail (near-full local tier).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ExperimentConfig,
+    FAULT_PRESETS,
+    FaultPlan,
+    FreqTier,
+    FreqTierConfig,
+    InjectedCrash,
+    SyntheticZipfWorkload,
+    TPP,
+    run_experiment,
+)
+
+CONFIG = ExperimentConfig(local_fraction=0.1, max_batches=60, seed=7)
+
+
+def _workload():
+    return SyntheticZipfWorkload(
+        num_pages=2000, alpha=1.2, accesses_per_batch=20_000, seed=7
+    )
+
+
+def _run(faults=None, holder=None, config=CONFIG):
+    def make_policy():
+        policy = FreqTier(seed=7)
+        if holder is not None:
+            holder["policy"] = policy
+        return policy
+
+    return run_experiment(_workload, make_policy, config, faults=faults)
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    return _run()
+
+
+class TestConvergenceUnderFaults:
+    #: Allowed |steady hit ratio - fault-free| per preset.  The
+    #: acceptance bound is 2pp for ``transient``; ``pinned`` is allowed
+    #: more because pinned hot pages *correctly* stay on CXL forever
+    #: (their accesses are genuinely lost, not mishandled); burst-style
+    #: classes get a little slack and ``chaos`` stacks every class.
+    TOLERANCE = {
+        "transient": 0.02,
+        "pinned": 0.05,
+        "corrupt": 0.02,
+        "enomem": 0.03,
+        "sample-loss": 0.03,
+        "chaos": 0.06,
+    }
+
+    @pytest.mark.parametrize("preset", sorted(TOLERANCE))
+    def test_hit_ratio_within_tolerance(self, fault_free, preset):
+        faulted = _run(faults=FAULT_PRESETS[preset])
+        assert faulted.steady_hit_ratio == pytest.approx(
+            fault_free.steady_hit_ratio, abs=self.TOLERANCE[preset]
+        ), preset
+
+    def test_faults_actually_fired(self, fault_free):
+        holder = {}
+        _run(faults=FAULT_PRESETS["chaos"], holder=holder)
+        extra = holder["policy"].stats.extra
+        assert extra.get("corrupt_samples_filtered", 0) > 0
+        failed = extra.get("promotions_failed", 0) + extra.get(
+            "demotions_failed", 0
+        )
+        assert failed > 0
+
+
+class TestDeterminism:
+    def test_faulted_run_bit_identical_across_repeats(self):
+        plan = FAULT_PRESETS["chaos"]
+        assert _run(faults=plan).to_dict() == _run(faults=plan).to_dict()
+
+    def test_fault_seed_perturbs_the_run(self):
+        plan = FaultPlan(migration_fail_prob=0.05, pinned_fraction=0.02)
+        assert (
+            _run(faults=plan).to_dict()
+            != _run(faults=plan.replace(seed=99)).to_dict()
+        )
+
+    def test_inactive_plan_identical_to_no_plan(self, fault_free):
+        plan = FaultPlan(seed=123)  # a seed alone injects nothing
+        assert not plan.active
+        assert _run(faults=plan).to_dict() == fault_free.to_dict()
+
+
+class TestRetryAndBlacklist:
+    def test_pinned_pages_get_blacklisted_not_retried_forever(self):
+        holder = {}
+        _run(faults=FaultPlan(pinned_fraction=0.05, seed=3), holder=holder)
+        extra = holder["policy"].stats.extra
+        blacklisted = extra.get("promotes_blacklisted", 0) + extra.get(
+            "demotes_blacklisted", 0
+        )
+        assert blacklisted > 0
+        # Every blacklisting cost exactly max_attempts recorded failures
+        # on its page, so total failures bound blacklistings from above.
+        policy = holder["policy"]
+        failed = extra.get("promotions_failed", 0) + extra.get(
+            "demotions_failed", 0
+        )
+        assert failed >= blacklisted * policy.config.retry_max_attempts
+
+
+class TestCrash:
+    def test_scheduled_crash_raises_injected_crash(self):
+        with pytest.raises(InjectedCrash, match="injected crash"):
+            _run(faults=FaultPlan(crash_after_batches=5))
+
+
+class TestPartialMoveAccounting:
+    """Stats vs traffic meter under a near-full local tier + faults.
+
+    Before the MoveOutcome rework, policies recorded *requested* page
+    counts while the machine recorded *actual* moves; with every call
+    able to partially fail the two books must still balance exactly.
+    """
+
+    PLAN = FaultPlan(
+        migration_fail_prob=0.05,
+        pinned_fraction=0.02,
+        enomem_prob=0.02,
+        enomem_burst_calls=4,
+        seed=13,
+    )
+
+    def _reconcile(self, make_policy):
+        holder = {}
+
+        def factory():
+            policy = make_policy()
+            holder["policy"] = policy
+            return policy
+
+        config = ExperimentConfig(local_fraction=0.06, max_batches=50, seed=11)
+        run_experiment(_workload, factory, config, faults=self.PLAN)
+        policy = holder["policy"]
+        traffic = policy.machine.traffic
+        assert policy.stats.promotions == traffic.pages_promoted
+        assert policy.stats.demotions == traffic.pages_demoted
+        return policy
+
+    def test_freqtier_books_balance(self):
+        policy = self._reconcile(
+            lambda: FreqTier(config=FreqTierConfig(), seed=11)
+        )
+        # The fault classes in PLAN actually produced partial moves.
+        failed = policy.stats.extra.get(
+            "promotions_failed", 0
+        ) + policy.stats.extra.get("demotions_failed", 0)
+        assert failed > 0
+
+    def test_tpp_books_balance(self):
+        self._reconcile(lambda: TPP(seed=11))

@@ -31,11 +31,11 @@ class TestSampleLoss:
             sample_batch_size=100_000,  # never drains by size
             pebs_base_period=1,  # sample everything
             window_accesses=50_000,
+            pebs_ring_capacity=64,  # drastically constrained ring
         )
         policy = FreqTier(config=config, seed=1)
         policy.attach(machine)
-        # Shrink the ring drastically after attach.
-        policy.pebs.ring_capacity = 64
+        assert policy.pebs.ring_capacity == 64
         machine.allocate(1024)
         hot = np.arange(500, 540)
         for i in range(30):

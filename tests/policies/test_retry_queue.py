@@ -1,0 +1,181 @@
+"""MigrationRetryQueue invariants (the docstring's property list).
+
+- backoff never exceeds ``max_backoff_batches``;
+- a blacklisted page is never re-enqueued;
+- the queue never exceeds ``capacity``;
+- absent new failures the queue drains within ``max_backoff_batches``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policies.base import MigrationRetryQueue
+
+def _ids(*pages: int) -> np.ndarray:
+    return np.asarray(pages, dtype=np.int64)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MigrationRetryQueue(capacity=0)
+        with pytest.raises(ValueError, match="base_backoff_batches"):
+            MigrationRetryQueue(base_backoff_batches=0)
+        with pytest.raises(ValueError, match="max_backoff_batches"):
+            MigrationRetryQueue(base_backoff_batches=4, max_backoff_batches=2)
+        with pytest.raises(ValueError, match="max_attempts"):
+            MigrationRetryQueue(max_attempts=0)
+
+
+class TestBackoff:
+    def test_doubles_then_caps(self):
+        q = MigrationRetryQueue(base_backoff_batches=1, max_backoff_batches=32)
+        got = [q.backoff_for_attempt(a) for a in range(1, 9)]
+        assert got == [1, 2, 4, 8, 16, 32, 32, 32]
+
+    def test_never_exceeds_cap_even_for_huge_attempt_counts(self):
+        q = MigrationRetryQueue(base_backoff_batches=3, max_backoff_batches=24)
+        for attempts in (1, 10, 63, 64, 1000):
+            assert 1 <= q.backoff_for_attempt(attempts) <= 24
+
+
+class TestLifecycle:
+    def test_entry_not_due_before_backoff(self):
+        q = MigrationRetryQueue(base_backoff_batches=2)
+        q.record_failures(_ids(5), now_batch=10)
+        assert q.due(11).size == 0
+        assert q.due(12).tolist() == [5]
+
+    def test_in_flight_entries_not_returned_twice(self):
+        q = MigrationRetryQueue()
+        q.record_failures(_ids(5), now_batch=0)
+        assert q.due(100).tolist() == [5]
+        assert q.due(100).size == 0  # in flight until resolved
+        assert len(q) == 1  # still counts against the bound
+
+    def test_mark_succeeded_clears_entries(self):
+        q = MigrationRetryQueue()
+        q.record_failures(_ids(1, 2, 3), now_batch=0)
+        q.due(100)
+        q.mark_succeeded(_ids(1, 2, 3))
+        assert len(q) == 0
+        assert q.due(200).size == 0
+
+    def test_refailed_retry_keeps_attempt_count(self):
+        q = MigrationRetryQueue(base_backoff_batches=1, max_attempts=5)
+        q.record_failures(_ids(9), now_batch=0)  # attempt 1, due at 1
+        assert q.due(1).tolist() == [9]
+        q.record_failures(_ids(9), now_batch=1)  # attempt 2, due at 1+2
+        assert q.due(2).size == 0
+        assert q.due(3).tolist() == [9]
+
+    def test_capacity_bound_drops_overflow(self):
+        q = MigrationRetryQueue(capacity=8)
+        q.record_failures(np.arange(100, dtype=np.int64), now_batch=0)
+        assert len(q) == 8
+
+    def test_requeue_of_resident_page_not_blocked_by_full_queue(self):
+        q = MigrationRetryQueue(capacity=2, base_backoff_batches=1)
+        q.record_failures(_ids(1, 2), now_batch=0)  # full
+        q.due(1)
+        q.record_failures(_ids(1), now_batch=1)  # already resident: allowed
+        assert q.due(3).tolist() == [1]
+
+
+class TestBlacklist:
+    def test_blacklisted_after_max_attempts(self):
+        q = MigrationRetryQueue(base_backoff_batches=1, max_attempts=3)
+        assert q.record_failures(_ids(7), 0).size == 0
+        assert q.record_failures(_ids(7), 1).size == 0
+        assert q.record_failures(_ids(7), 2).tolist() == [7]  # newly blacklisted
+        assert q.is_blacklisted(7)
+        assert q.num_blacklisted == 1
+        assert len(q) == 0  # removed from the retry queue
+
+    def test_blacklisted_page_never_reenqueued(self):
+        q = MigrationRetryQueue(max_attempts=1)
+        assert q.record_failures(_ids(7), 0).tolist() == [7]
+        assert q.record_failures(_ids(7), 1).size == 0  # reported once only
+        assert len(q) == 0
+        for batch in range(2, 100):
+            assert q.due(batch).size == 0
+
+    def test_filter_allowed_drops_blacklisted(self):
+        q = MigrationRetryQueue(max_attempts=1)
+        q.record_failures(_ids(3, 5), 0)
+        kept = q.filter_allowed(np.arange(8, dtype=np.int64))
+        assert kept.tolist() == [0, 1, 2, 4, 6, 7]
+        # Cached blacklist array invalidates when the blacklist grows.
+        q.record_failures(_ids(6), 0)
+        assert q.filter_allowed(np.arange(8, dtype=np.int64)).tolist() == [
+            0, 1, 2, 4, 7,
+        ]
+
+    def test_filter_allowed_identity_when_nothing_blacklisted(self):
+        q = MigrationRetryQueue()
+        pages = np.arange(4, dtype=np.int64)
+        assert q.filter_allowed(pages) is pages
+
+
+class TestDrain:
+    def test_drains_completely_within_max_backoff(self):
+        q = MigrationRetryQueue(base_backoff_batches=1, max_backoff_batches=8)
+        q.record_failures(np.arange(20, dtype=np.int64), now_batch=0)
+        for batch in range(1, 9):  # max_backoff_batches batches
+            q.mark_succeeded(q.due(batch))
+        assert len(q) == 0
+
+
+class TestRandomizedInvariants:
+    """Seeded random driver exercising every transition; invariants
+    checked at every step."""
+
+    def test_invariants_hold_over_random_schedule(self):
+        rng = np.random.default_rng(1234)
+        q = MigrationRetryQueue(
+            capacity=16,
+            base_backoff_batches=1,
+            max_backoff_batches=8,
+            max_attempts=3,
+        )
+        blacklisted: set[int] = set()
+        last_due_batch: dict[int, int] = {}  # page -> batch it became due
+        for batch in range(400):
+            due = q.due(batch)
+            for page in due.tolist():
+                # Never handed out a blacklisted page.
+                assert page not in blacklisted
+                # Backoff to this hand-out never exceeded the cap.
+                enqueued_at = last_due_batch.get(page)
+                if enqueued_at is not None:
+                    assert batch - enqueued_at <= q.max_backoff_batches
+            # In-flight pages are not re-issued.
+            assert q.due(batch).size == 0
+
+            succeed_mask = rng.random(due.size) < 0.5
+            q.mark_succeeded(due[succeed_mask])
+            newly = q.record_failures(due[~succeed_mask], batch)
+            blacklisted.update(newly.tolist())
+            for page in due[~succeed_mask].tolist():
+                last_due_batch[page] = batch
+
+            fresh = rng.integers(0, 64, size=int(rng.integers(0, 6)))
+            fresh = np.asarray(
+                [p for p in fresh.tolist() if p not in blacklisted],
+                dtype=np.int64,
+            )
+            newly = q.record_failures(fresh, batch)
+            blacklisted.update(newly.tolist())
+            for page in fresh.tolist():
+                last_due_batch[page] = batch
+
+            assert len(q) <= q.capacity
+            assert q.num_blacklisted == len(blacklisted)
+
+        # Stop injecting: everything still queued drains within the cap.
+        final_batch = 400
+        for batch in range(final_batch, final_batch + q.max_backoff_batches + 1):
+            q.mark_succeeded(q.due(batch))
+        assert len(q) == 0
