@@ -81,6 +81,13 @@ from repro.memsim import (
     TieredMemoryConfig,
     TierSpec,
 )
+from repro.state import (
+    CheckpointManager,
+    LoadedCheckpoint,
+    Snapshot,
+    SnapshotError,
+    SweepJournal,
+)
 from repro.policies import (
     AllLocal,
     AutoNUMA,
@@ -111,6 +118,7 @@ __all__ = [
     "CacheLibWorkload",
     "CDN_PROFILE",
     "CellSpec",
+    "CheckpointManager",
     "CountingBloomFilter",
     "CXL1_CONFIG",
     "CXL2_CONFIG",
@@ -131,6 +139,7 @@ __all__ = [
     "JsonlTraceSink",
     "KiB",
     "ListSink",
+    "LoadedCheckpoint",
     "LOCAL_DRAM",
     "Machine",
     "MachineConfig",
@@ -145,8 +154,11 @@ __all__ = [
     "SampleCoalescer",
     "SCALE_FACTOR",
     "SimulationEngine",
+    "Snapshot",
+    "SnapshotError",
     "SOCIAL_PROFILE",
     "StaticNoMigration",
+    "SweepJournal",
     "SyntheticZipfWorkload",
     "TieredMemoryConfig",
     "TierSpec",

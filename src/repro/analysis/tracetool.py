@@ -46,6 +46,9 @@ class TraceValidation:
     events: list[dict]
     #: (1-based line number, error message) per invalid line.
     errors: list[tuple[int, str]] = field(default_factory=list)
+    #: True when the file's final line was cut off mid-write (a crash
+    #: during a durable trace); tolerated, not counted as an error.
+    truncated_tail: bool = False
 
     @property
     def ok(self) -> bool:
@@ -62,26 +65,39 @@ def validate_trace(path: str | os.PathLike) -> TraceValidation:
     Collects errors instead of raising so a single bad line does not
     hide the rest; ``result.ok`` is the pass/fail verdict the CI
     traced-smoke job keys on.
+
+    A final line that is not valid JSON **and** is missing its trailing
+    newline is treated as a torn tail (the expected artifact of a crash
+    mid-write with ``JsonlTraceSink(durable=True)``): it sets
+    ``truncated_tail`` instead of failing validation.
     """
     events: list[dict] = []
     errors: list[tuple[int, str]] = []
+    truncated_tail = False
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
+        raw_lines = fh.readlines()
+    for lineno, raw in enumerate(raw_lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            is_last = lineno == len(raw_lines)
+            if is_last and not raw.endswith("\n"):
+                truncated_tail = True
+            else:
                 errors.append((lineno, f"not valid JSON: {exc}"))
-                continue
-            try:
-                validate_event(event)
-            except TraceEventError as exc:
-                errors.append((lineno, str(exc)))
-                continue
-            events.append(event)
-    return TraceValidation(events=events, errors=errors)
+            continue
+        try:
+            validate_event(event)
+        except TraceEventError as exc:
+            errors.append((lineno, str(exc)))
+            continue
+        events.append(event)
+    return TraceValidation(
+        events=events, errors=errors, truncated_tail=truncated_tail
+    )
 
 
 @dataclass

@@ -190,6 +190,24 @@ class CountingBloomFilter:
         self._counters = PackedCounterArray(self.num_counters, bits=self.bits)
         self._since_aging = 0
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "counters": self._counters.state_dict(),
+            "since_aging": self._since_aging,
+            "stats": self.stats.snapshot(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._counters.load_state(state["counters"])
+        self._since_aging = int(state["since_aging"])
+        stats = state["stats"]
+        self.stats.gets = int(stats["gets"])
+        self.stats.increments = int(stats["increments"])
+        self.stats.slot_accesses = int(stats["slot_accesses"])
+        self.stats.agings = int(stats["agings"])
+
     # -- analysis helpers --------------------------------------------------
 
     def counter_histogram(self) -> np.ndarray:

@@ -62,6 +62,17 @@ class SampleCoalescer:
         self.stats.unique_increments_out += int(uniq.size)
         return uniq, freqs
 
+    def state_dict(self) -> dict:
+        """Aggregation counters only -- the CBF checkpoints itself."""
+        return {
+            "samples_in": self.stats.samples_in,
+            "unique_increments_out": self.stats.unique_increments_out,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.stats.samples_in = int(state["samples_in"])
+        self.stats.unique_increments_out = int(state["unique_increments_out"])
+
     def coalesce_only(self, page_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Aggregate without touching the CBF (for analysis/tests)."""
         arr = np.asarray(page_ids, dtype=np.uint64)

@@ -184,6 +184,21 @@ class PackedCounterArray:
         """Unpacked copy of all counters as int64 (for tests/analysis)."""
         return self.get(np.arange(self.size, dtype=np.int64), check=False)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The packed backing store (bit-exact, see repro.state.codec)."""
+        return {"store": self._store.copy()}
+
+    def load_state(self, state: dict) -> None:
+        store = np.asarray(state["store"], dtype=self._store.dtype)
+        if store.shape != self._store.shape:
+            raise ValueError(
+                f"counter store shape {store.shape} != expected "
+                f"{self._store.shape}"
+            )
+        self._store = store.copy()
+
     def fill(self, value: int) -> None:
         """Set every counter to ``value`` (clamped)."""
         self.set(

@@ -90,6 +90,22 @@ class ExactFrequencyTracker:
     def clear(self) -> None:
         self._counts.clear()
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Counts as sorted ``[page, count]`` pairs (JSON has no int keys)."""
+        return {
+            "counts": [
+                [int(page), int(count)]
+                for page, count in sorted(self._counts.items())
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._counts = {
+            int(page): int(count) for page, count in state["counts"]
+        }
+
     # -- analysis -----------------------------------------------------------------
 
     def items(self):

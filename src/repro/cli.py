@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Callable
 
@@ -88,7 +89,16 @@ def _executor_from_args(args: argparse.Namespace) -> ParallelExecutor:
         cell_timeout=getattr(args, "cell_timeout", None),
         retries=getattr(args, "retries", 0),
         keep_going=getattr(args, "keep_going", False),
+        checkpoint_root=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", None) or 25,
     )
+
+
+def _partial_exit_code(args: argparse.Namespace, num_failed: int) -> int:
+    """1 when any cell failed permanently, unless ``--ok-on-partial``."""
+    if num_failed and not getattr(args, "ok_on_partial", False):
+        return 1
+    return 0
 
 
 def _faults_from_args(args: argparse.Namespace) -> FaultPlan | None:
@@ -202,6 +212,28 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         help="on a cell's permanent failure, report it and keep the "
         "rest of the grid instead of aborting",
     )
+    parser.add_argument(
+        "--ok-on-partial",
+        action="store_true",
+        help="exit 0 even when --keep-going left failed cells in the "
+        "grid (default: any permanently failed cell means exit 1)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="durable run state under DIR: per-cell rotated snapshots "
+        "(crash/timeout retries resume mid-run) plus a sweep journal "
+        "(re-invoking the same grid skips completed cells)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=_nonneg_int,
+        default=25,
+        metavar="N",
+        help="snapshot cadence in batches for checkpointed cells "
+        "(default 25; needs --checkpoint-dir)",
+    )
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -230,9 +262,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     max_batches = None if args.batches <= 0 else args.batches
     config.max_batches = max_batches
     faults = _faults_from_args(args)
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     with trace_to(args.trace) as tracer:
         result = run_experiment(
-            workload, policy, config, tracer=tracer, faults=faults
+            workload,
+            policy,
+            config,
+            tracer=tracer,
+            faults=faults,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_batches=(
+                args.checkpoint_every if args.checkpoint_dir else 0
+            ),
+            resume_from=args.checkpoint_dir if args.resume else None,
         )
     payload = _result_dict(result)
     if args.baseline:
@@ -268,6 +311,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         trace_dir=args.trace,
         faults=_faults_from_args(args),
     )
+    num_failed = sum(
+        isinstance(res, FailedCell) for res in results.values()
+    )
     results = _report_failed_cells(results)
     if args.trace:
         print(f"per-cell traces written under {args.trace}/", file=sys.stderr)
@@ -292,7 +338,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
     else:
         print(format_comparison_table(results))
-    return 0
+    return _partial_exit_code(args, num_failed)
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -387,6 +433,49 @@ def cmd_trace_validate(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
+    """Report every snapshot generation in a checkpoint directory.
+
+    Exit 0 when at least one generation verifies (a resume would
+    succeed), 1 otherwise -- so scripts can probe resumability.
+    """
+    from repro.state import CheckpointManager
+
+    if not os.path.isdir(args.dir):
+        raise SystemExit(f"not a checkpoint directory: {args.dir}")
+    report = CheckpointManager(args.dir).inspect()
+    any_valid = any(entry.get("valid") for entry in report)
+    if args.json:
+        print(
+            json.dumps(
+                {"dir": args.dir, "generations": report, "resumable": any_valid},
+                default=str,
+            )
+        )
+        return 0 if any_valid else 1
+    if not report:
+        print(f"{args.dir}: no snapshot generations")
+        return 1
+    for entry in report:
+        if entry.get("valid"):
+            progress = entry.get("progress") or {}
+            batches = progress.get("batches_done", "?")
+            now_ns = progress.get("now_ns")
+            when = f", t={now_ns / 1e6:.3f} ms" if now_ns is not None else ""
+            print(
+                f"  gen {entry['generation']:>4} {entry['file']:<20} "
+                f"valid   batches={batches}{when} ({entry['bytes']} bytes)"
+            )
+        else:
+            print(
+                f"  gen {entry['generation']:>4} {entry['file']:<20} "
+                f"INVALID {entry.get('error', '')}"
+            )
+    verdict = "resumable" if any_valid else "NOT resumable"
+    print(f"{args.dir}: {len(report)} generation(s), {verdict}")
+    return 0 if any_valid else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
     policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
@@ -416,6 +505,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cell_results = executor.run(cells)
     rows = []
     payload = {}
+    num_failed = sum(isinstance(res, FailedCell) for res in cell_results)
     for i, frac in enumerate(fractions):
         result, base = cell_results[2 * i], cell_results[2 * i + 1]
         if isinstance(result, FailedCell) or isinstance(base, FailedCell):
@@ -446,7 +536,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 ["%local", "%all-local thr", "hit ratio", "migrated"], rows
             )
         )
-    return 0
+    return _partial_exit_code(args, num_failed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -473,6 +563,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a JSONL event trace of the run to PATH",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write rotated, integrity-checked state snapshots to DIR",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=_nonneg_int,
+        default=25,
+        metavar="N",
+        help="snapshot every N batches (default 25; needs --checkpoint-dir)",
+    )
+    p_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the newest valid snapshot in --checkpoint-dir "
+        "before running (fresh start if none exists)",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -512,6 +621,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("path", help="JSONL trace file")
     p_val.add_argument("--json", action="store_true")
     p_val.set_defaults(func=cmd_trace_validate)
+
+    p_ckpt = sub.add_parser("checkpoint", help="inspect checkpoint state")
+    ckpt_sub = p_ckpt.add_subparsers(dest="checkpoint_command", required=True)
+    p_ins = ckpt_sub.add_parser(
+        "inspect",
+        help="verify every snapshot generation in a checkpoint directory",
+    )
+    p_ins.add_argument("dir", help="checkpoint directory")
+    p_ins.add_argument("--json", action="store_true")
+    p_ins.set_defaults(func=cmd_checkpoint_inspect)
 
     p_sweep = sub.add_parser("sweep", help="sweep local DRAM fractions")
     _add_common_args(p_sweep)

@@ -140,13 +140,22 @@ class ResultCache:
     def __contains__(self, fingerprint: str) -> bool:
         return self.path_for(fingerprint).exists()
 
+    def _entries(self) -> list[Path]:
+        """Real cache entries -- excludes in-flight ``.tmp-*`` files
+        left by a writer that is still running (or crashed mid-put)."""
+        return [
+            path
+            for path in self.cache_dir.glob("*.json")
+            if not path.name.startswith(".tmp-")
+        ]
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        return len(self._entries())
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in self.cache_dir.glob("*.json"):
+        for path in self._entries():
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -10,9 +10,18 @@ Order of operations per batch (mirrors how the real system overlaps):
    accesses, migration volume, policy overhead -- into simulated time.
 
 Virtual time only; nothing depends on the wall clock.
+
+Checkpointing: pass a :class:`~repro.state.CheckpointManager` plus
+``checkpoint_every_batches`` and the engine snapshots its full state
+(progress, metrics, machine placement, policy, fault injector) every N
+batches; :meth:`SimulationEngine.restore_state` resumes a fresh engine
+from such a snapshot bit-identically (see docs/API.md "Checkpoint &
+resume").
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +31,9 @@ from repro.memsim.pagetable import LOCAL_TIER
 from repro.obs import NULL_TRACER, Tracer
 from repro.policies.base import TieringPolicy
 from repro.workloads.spec import Workload
+
+if TYPE_CHECKING:
+    from repro.state import CheckpointManager
 
 
 class SimulationEngine:
@@ -41,14 +53,25 @@ class SimulationEngine:
         policy: TieringPolicy,
         tracer: Tracer | None = None,
         fault_injector=None,
+        checkpoint_manager: "CheckpointManager | None" = None,
+        checkpoint_every_batches: int = 0,
     ):
+        if checkpoint_every_batches < 0:
+            raise ValueError(
+                "checkpoint_every_batches must be >= 0, got "
+                f"{checkpoint_every_batches}"
+            )
         self.machine = machine
         self.workload = workload
         self.policy = policy
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fault_injector = fault_injector
+        self.checkpoint_manager = checkpoint_manager
+        self.checkpoint_every_batches = int(checkpoint_every_batches)
         self.metrics = MetricsCollector()
         self.now_ns = 0.0
+        self.batches_done = 0
+        self.accesses_done = 0
         self._setup_done = False
 
     def setup(self) -> None:
@@ -71,6 +94,101 @@ class SimulationEngine:
         self.workload.setup(self.machine)
         self._setup_done = True
 
+    # -- checkpointing ----------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Full engine state as a checkpoint payload.
+
+        Captures everything :meth:`restore_state` needs to continue the
+        run bit-identically: progress counters, per-batch metrics, the
+        machine's placement/traffic, the policy's internal state and
+        (when present) the fault injector.  The workload is *not*
+        captured -- generator-based traces hold unpicklable locals --
+        so resume rebuilds the workload from its factory and
+        fast-forwards ``batches()`` past the completed prefix.
+        """
+        self.setup()
+        payload = {
+            "identity": {
+                "policy": self.policy.name,
+                "workload": self.workload.name,
+                "local_capacity_pages": self.machine.config.local_capacity_pages,
+                "cxl_capacity_pages": self.machine.config.cxl_capacity_pages,
+            },
+            "progress": {
+                "now_ns": self.now_ns,
+                "batches_done": self.batches_done,
+                "accesses_done": self.accesses_done,
+            },
+            "metrics": self.metrics.state_dict(),
+            "machine": self.machine.state_dict(),
+            "policy": self.policy.state_dict(),
+            "faults": (
+                self.fault_injector.state_dict()
+                if self.fault_injector is not None
+                else None
+            ),
+        }
+        return payload
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a :meth:`capture_state` payload onto this engine.
+
+        Must be called before :meth:`run`; the engine/machine/policy
+        must be configured identically to the run that produced the
+        snapshot (identity fields are validated).  The next ``run()``
+        fast-forwards the workload's batch stream past the completed
+        prefix, then continues bit-identically.
+        """
+        self.setup()
+        identity = payload["identity"]
+        expected = {
+            "policy": self.policy.name,
+            "workload": self.workload.name,
+            "local_capacity_pages": self.machine.config.local_capacity_pages,
+            "cxl_capacity_pages": self.machine.config.cxl_capacity_pages,
+        }
+        mismatched = {
+            key: (identity.get(key), want)
+            for key, want in expected.items()
+            if identity.get(key) != want
+        }
+        if mismatched:
+            raise ValueError(
+                f"snapshot does not match this experiment: {mismatched}"
+            )
+        progress = payload["progress"]
+        self.now_ns = float(progress["now_ns"])
+        self.batches_done = int(progress["batches_done"])
+        self.accesses_done = int(progress["accesses_done"])
+        self.metrics.load_state(payload["metrics"])
+        self.machine.load_state(payload["machine"])
+        self.policy.load_state(payload["policy"])
+        if payload.get("faults") is not None:
+            if self.fault_injector is None:
+                raise ValueError(
+                    "snapshot carries fault-injector state but this engine "
+                    "has no fault injector"
+                )
+            self.fault_injector.load_state(payload["faults"])
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "checkpoint_restored",
+                t_ns=self.now_ns,
+                batch=self.batches_done,
+            )
+
+    def _save_checkpoint(self) -> None:
+        assert self.checkpoint_manager is not None
+        path = self.checkpoint_manager.save(self.capture_state())
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "checkpoint_saved",
+                t_ns=self.now_ns,
+                batch=self.batches_done,
+                file=path.name,
+            )
+
     def run(
         self,
         max_batches: int | None = None,
@@ -81,12 +199,24 @@ class SimulationEngine:
         self.setup()
         machine = self.machine
         tracer = self.tracer
-        accesses_done = 0
-        batches_done = 0
-        for batch in self.workload.batches():
-            if max_batches is not None and batches_done >= max_batches:
+        ckpt_every = (
+            self.checkpoint_every_batches if self.checkpoint_manager else 0
+        )
+        stream = self.workload.batches()
+        if self.batches_done:
+            # Resuming: replay the workload generator deterministically
+            # over the already-completed prefix.  The generator's own
+            # RNG draws reconstruct the exact state it had at the
+            # snapshot; the batches themselves are discarded (their
+            # effects live in the restored machine/policy/metrics).
+            skip = self.batches_done
+            for _ in range(skip):
+                if next(stream, None) is None:
+                    break
+        for batch in stream:
+            if max_batches is not None and self.batches_done >= max_batches:
                 break
-            if max_accesses is not None and accesses_done >= max_accesses:
+            if max_accesses is not None and self.accesses_done >= max_accesses:
                 break
 
             tracer.clock_ns = self.now_ns
@@ -132,8 +262,11 @@ class SimulationEngine:
                 label=batch.label,
             )
             self.now_ns += cost.total_ns
-            accesses_done += batch.num_accesses
-            batches_done += 1
+            self.accesses_done += batch.num_accesses
+            self.batches_done += 1
+
+            if ckpt_every and self.batches_done % ckpt_every == 0:
+                self._save_checkpoint()
 
         policy_stats = self.policy.stats.as_dict()
         if tracer.enabled:

@@ -85,6 +85,29 @@ class MetricsCollector:
             )
         )
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "records": [
+                {
+                    "start_ns": r.start_ns,
+                    "duration_ns": r.duration_ns,
+                    "num_ops": r.num_ops,
+                    "num_accesses": r.num_accesses,
+                    "local_accesses": r.local_accesses,
+                    "cxl_accesses": r.cxl_accesses,
+                    "pages_migrated": r.pages_migrated,
+                    "overhead_ns": r.overhead_ns,
+                    "label": r.label,
+                }
+                for r in self.records
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.records = [BatchRecord(**record) for record in state["records"]]
+
     def finalize(
         self,
         policy_name: str,

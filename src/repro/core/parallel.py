@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any
 
 from repro.core.cache import ResultCache, cell_fingerprint, config_to_dict
@@ -211,6 +213,13 @@ class CellSpec:
     process executes it; cache-served cells record one ``cache_hit``
     event instead.  The trace destination is observability-only and
     deliberately excluded from the cache fingerprint.
+
+    ``checkpoint_dir`` / ``checkpoint_every`` (optional) make the cell
+    write rotated state snapshots there every N batches and *resume
+    from* that directory's newest valid snapshot at the start of every
+    attempt -- so a crashed or timed-out cell retries from its last
+    checkpoint instead of from scratch.  Like ``trace_path``, these are
+    execution-mechanics fields excluded from the cache fingerprint.
     """
 
     workload: Callable[[], Any]
@@ -222,6 +231,10 @@ class CellSpec:
     #: cache fingerprint *only when active*, so fault-free grids keep
     #: their historical fingerprints (and cache entries).
     faults: FaultPlan | None = None
+    #: Per-cell checkpoint directory (written to and resumed from).
+    checkpoint_dir: str | None = None
+    #: Snapshot every N batches (0 = checkpointing off).
+    checkpoint_every: int = 0
 
     def fingerprint(self) -> str | None:
         """Content-address of this cell, or None if not addressable.
@@ -286,6 +299,12 @@ def run_cell(spec: CellSpec) -> ExperimentResult:
             spec.config,
             tracer=tracer,
             faults=spec.faults,
+            checkpoint_dir=spec.checkpoint_dir,
+            checkpoint_every_batches=spec.checkpoint_every,
+            # Resuming from the cell's own directory is what turns a
+            # crash-retry into a continue-from-last-checkpoint: the
+            # first attempt finds it empty and starts fresh.
+            resume_from=spec.checkpoint_dir,
         )
 
 
@@ -311,6 +330,8 @@ class ExecutorStats:
     """Where each submitted cell's result came from, and what it cost."""
 
     cache_hits: int = 0
+    #: Cells skipped because the sweep journal already records them.
+    journal_hits: int = 0
     executed: int = 0
     cached_results: int = 0  # results newly written to the cache
     #: Charged failed attempts across all cells (a resubmission after an
@@ -352,6 +373,20 @@ class ParallelExecutor:
         On a cell's permanent failure, record a :class:`FailedCell` at
         its position and keep running the rest of the grid, instead of
         raising (the default) and losing the in-flight results.
+    checkpoint_root:
+        Directory for durable run state.  Every submitted cell without
+        an explicit ``checkpoint_dir`` gets its own subdirectory under
+        ``<root>/cells/`` (named by its fingerprint when addressable,
+        else by label/position), so crash/timeout retries resume from
+        the cell's last checkpoint; a sweep journal at
+        ``<root>/journal.jsonl`` additionally lets an interrupted
+        re-invocation of the same grid skip cells that already
+        completed.  All-local baseline cells (``policy=None``) do not
+        checkpoint (they are cheap and cache-served) but do journal.
+    checkpoint_every:
+        Default snapshot cadence (batches) applied to cells that get a
+        checkpoint directory from ``checkpoint_root`` and do not pin
+        their own ``checkpoint_every``.
 
     Determinism: each cell builds fresh workload/policy instances from
     its own seeds, so ``run()`` returns bit-identical results whatever
@@ -372,6 +407,8 @@ class ParallelExecutor:
         cell_timeout: float | None = None,
         retries: int = 0,
         keep_going: bool = False,
+        checkpoint_root: str | os.PathLike | None = None,
+        checkpoint_every: int = 25,
     ):
         self.jobs = resolve_jobs(jobs)
         if cache is not None and not isinstance(cache, ResultCache):
@@ -380,10 +417,24 @@ class ParallelExecutor:
             raise ValueError(f"cell_timeout must be > 0, got {cell_timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.cache = cache
         self.cell_timeout = cell_timeout
         self.retries = int(retries)
         self.keep_going = bool(keep_going)
+        self.checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self.journal = None
+        if self.checkpoint_root is not None:
+            from repro.state import SweepJournal
+
+            self.checkpoint_root.mkdir(parents=True, exist_ok=True)
+            self.journal = SweepJournal(self.checkpoint_root / "journal.jsonl")
         self.stats = ExecutorStats()
 
     # -- execution -----------------------------------------------------
@@ -391,25 +442,36 @@ class ParallelExecutor:
     def run(self, specs: Sequence[CellSpec]) -> list[ExperimentResult]:
         """Run all cells; results align with ``specs`` by position.
 
-        Cache hits never execute; misses run inline (``jobs=1``) or on
-        the pool, then populate the cache.
+        Journal hits (a previous, interrupted invocation of the same
+        grid already completed the cell) and cache hits never execute;
+        misses run inline (``jobs=1``) or on the pool, then populate
+        the journal and cache.
         """
-        specs = list(specs)
+        specs = [
+            self._prepare_spec(spec, i) for i, spec in enumerate(specs)
+        ]
         results: list[ExperimentResult | None] = [None] * len(specs)
         fingerprints: list[str | None] = [None] * len(specs)
 
         pending: list[int] = []
         for i, spec in enumerate(specs):
-            if self.cache is not None:
+            if self.cache is not None or self.journal is not None:
                 fingerprints[i] = spec.fingerprint()
-                if fingerprints[i] is not None:
-                    hit = self.cache.get(fingerprints[i])
-                    if hit is not None:
-                        results[i] = hit
-                        self.stats.cache_hits += 1
-                        if spec.trace_path is not None:
-                            self._record_cache_hit(spec, fingerprints[i])
-                        continue
+            fp = fingerprints[i]
+            if fp is not None and self.journal is not None:
+                prior = self.journal.completed(fp)
+                if prior is not None:
+                    results[i] = prior
+                    self.stats.journal_hits += 1
+                    continue
+            if fp is not None and self.cache is not None:
+                hit = self.cache.get(fp)
+                if hit is not None:
+                    results[i] = hit
+                    self.stats.cache_hits += 1
+                    if spec.trace_path is not None:
+                        self._record_cache_hit(spec, fp)
+                    continue
             pending.append(i)
 
         if pending:
@@ -418,11 +480,40 @@ class ParallelExecutor:
                 results[i] = res
                 self.stats.executed += 1
                 if isinstance(res, FailedCell):
-                    continue  # never cache failures
+                    continue  # never cache/journal failures
                 if self.cache is not None and fingerprints[i] is not None:
                     self.cache.put(fingerprints[i], res)
                     self.stats.cached_results += 1
+                if self.journal is not None and fingerprints[i] is not None:
+                    self.journal.record(fingerprints[i], res)
         return results  # type: ignore[return-value]
+
+    _LABEL_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+    def _prepare_spec(self, spec: CellSpec, index: int) -> CellSpec:
+        """Assign a per-cell checkpoint directory under the root.
+
+        Fingerprint-named directories make resume survive process
+        *re-invocation* (the crashed sweep rerun finds the same dir);
+        non-addressable cells fall back to label/position names, which
+        still cover crash-retries within one invocation.  All-local
+        baseline cells never checkpoint.
+        """
+        if (
+            self.checkpoint_root is None
+            or spec.checkpoint_dir is not None
+            or spec.policy is None
+        ):
+            return spec
+        cell_id = spec.fingerprint()
+        if cell_id is None:
+            safe = self._LABEL_SAFE.sub("-", spec.label).strip("-")
+            cell_id = f"{safe or 'cell'}-{index}"
+        return replace(
+            spec,
+            checkpoint_dir=str(self.checkpoint_root / "cells" / cell_id),
+            checkpoint_every=spec.checkpoint_every or self.checkpoint_every,
+        )
 
     def run_one(self, spec: CellSpec) -> ExperimentResult:
         return self.run([spec])[0]

@@ -89,6 +89,9 @@ def run_experiment(
     executor: ParallelExecutor | None = None,
     tracer: Tracer | None = None,
     faults: FaultPlan | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    checkpoint_every_batches: int = 0,
+    resume_from: str | os.PathLike | None = None,
 ) -> ExperimentResult:
     """Run one experiment cell and reduce its metrics.
 
@@ -102,6 +105,16 @@ def run_experiment(
     migration/sampling failures into the run; an inactive plan is
     equivalent to None, and results under an active plan are cached
     under a distinct fingerprint.
+
+    Checkpointing: with ``checkpoint_dir`` and a positive
+    ``checkpoint_every_batches``, the engine snapshots its full state
+    every N batches (atomic, integrity-checked, rotated generations --
+    see :class:`repro.state.CheckpointManager`).  With ``resume_from``
+    pointing at such a directory, the run restores the newest *valid*
+    snapshot and continues bit-identically; a missing or fully corrupt
+    directory falls back to a fresh start.  With an ``executor``, set
+    ``CellSpec.checkpoint_dir`` / ``checkpoint_every`` instead (or use
+    the executor's ``checkpoint_root``).
     """
     if executor is not None:
         if tracer is not None:
@@ -110,7 +123,18 @@ def run_experiment(
                 "set CellSpec.trace_path on the submitted cells"
             )
         return executor.run_one(
-            CellSpec(workload_factory, policy_factory, config, faults=faults)
+            CellSpec(
+                workload_factory,
+                policy_factory,
+                config,
+                faults=faults,
+                checkpoint_dir=(
+                    os.fspath(checkpoint_dir)
+                    if checkpoint_dir is not None
+                    else None
+                ),
+                checkpoint_every=checkpoint_every_batches,
+            )
         )
     workload = workload_factory()
     machine = build_machine(workload.footprint_pages, config)
@@ -121,12 +145,43 @@ def run_experiment(
         policy,
         tracer=tracer,
         fault_injector=_build_injector(faults, machine),
+        checkpoint_manager=_checkpoint_manager(checkpoint_dir),
+        checkpoint_every_batches=checkpoint_every_batches,
     )
+    _maybe_resume(engine, resume_from)
     return engine.run(
         max_batches=config.max_batches,
         max_accesses=config.max_accesses,
         warmup_fraction=config.warmup_fraction,
     )
+
+
+def _checkpoint_manager(checkpoint_dir: str | os.PathLike | None):
+    if checkpoint_dir is None:
+        return None
+    from repro.state import CheckpointManager
+
+    return CheckpointManager(checkpoint_dir)
+
+
+def _maybe_resume(
+    engine: SimulationEngine, resume_from: str | os.PathLike | None
+) -> None:
+    """Restore the newest valid snapshot under ``resume_from``, if any.
+
+    A missing directory or one holding no valid snapshot (all corrupt,
+    or none written yet) means a fresh start -- resume is best-effort
+    by design so crash-retry loops need no existence checks.
+    """
+    if resume_from is None:
+        return
+    from repro.state import CheckpointManager
+
+    if not os.path.isdir(resume_from):
+        return
+    loaded = CheckpointManager(resume_from).load_latest()
+    if loaded is not None:
+        engine.restore_state(loaded.payload)
 
 
 def run_all_local(

@@ -80,6 +80,10 @@ class FaultInjector:
         #: Remaining sample-loss-burst observed batches.
         self._loss_left = 0
         self.batch_index = 0
+        #: Set when state was restored from a checkpoint: the restored
+        #: incarnation *is* the post-crash run, so the scheduled crash
+        #: must not re-fire on every subsequent batch.
+        self._crash_disarmed = False
         #: Injected-fault tallies by kind (mirrors the traced events).
         self.counters: dict[str, int] = {
             "migration_transient": 0,
@@ -95,7 +99,9 @@ class FaultInjector:
         """Advance one simulated batch; fires any scheduled crash."""
         self.batch_index += 1
         after = self.plan.crash_after_batches
-        if after is not None and self.batch_index >= after:
+        if after is not None and not self._crash_disarmed and (
+            self.batch_index >= after
+        ):
             if self.plan.crash_hard:
                 # A segfaulting daemon does not unwind its stack; this
                 # is what produces BrokenProcessPool under a pool.
@@ -207,6 +213,41 @@ class FaultInjector:
         self.counters["samples_corrupted"] += n_bad
         self._trace("samples_corrupted", n_bad)
         return corrupted
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All mutable injector state (the pinned mask is a pure
+        function of the plan seed, so it is not duplicated here)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "enomem_left": [
+                [int(tier), int(left)]
+                for tier, left in sorted(self._enomem_left.items())
+            ],
+            "loss_left": self._loss_left,
+            "batch_index": self.batch_index,
+            "counters": dict(self.counters),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore injector state; disarms any scheduled crash.
+
+        The restored incarnation is the run *after* the injected crash:
+        the crash check consumes no RNG, so a crashed-then-resumed run
+        stays bit-identical to an uninterrupted run whose plan never
+        scheduled the crash.
+        """
+        self._rng.bit_generator.state = state["rng"]
+        self._enomem_left = {
+            int(tier): int(left) for tier, left in state["enomem_left"]
+        }
+        self._loss_left = int(state["loss_left"])
+        self.batch_index = int(state["batch_index"])
+        self.counters = {
+            str(kind): int(count) for kind, count in state["counters"].items()
+        }
+        self._crash_disarmed = True
 
     # -- tracing -----------------------------------------------------------
 

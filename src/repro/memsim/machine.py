@@ -362,3 +362,24 @@ class Machine:
         widening copy; see :meth:`PageTable.tier_of`).
         """
         return self.page_table.tier_of(page_ids)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Placement, traffic and reservations.
+
+        The address space's region layout is *not* captured: it is a
+        pure function of the deterministic setup sequence, which resume
+        replays before restoring this state (see
+        ``SimulationEngine.restore_state``).
+        """
+        return {
+            "page_table": self.page_table.state_dict(),
+            "traffic": self.traffic.state_dict(),
+            "reserved_local_pages": self._reserved_local_pages,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.page_table.load_state(state["page_table"])
+        self.traffic.load_state(state["traffic"])
+        self._reserved_local_pages = int(state["reserved_local_pages"])

@@ -113,6 +113,32 @@ class PageTable:
         self.pagemap_pages_read += int(idx.size)
         return self._placement[idx]
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "placement": self._placement.copy(),
+            "local_count": self._tier_counts[LOCAL_TIER],
+            "cxl_count": self._tier_counts[CXL_TIER],
+            "pagemap_reads": self.pagemap_reads,
+            "pagemap_pages_read": self.pagemap_pages_read,
+        }
+
+    def load_state(self, state: dict) -> None:
+        placement = np.asarray(state["placement"], dtype=np.int8)
+        if placement.shape != self._placement.shape:
+            raise ValueError(
+                f"placement shape {placement.shape} != expected "
+                f"{self._placement.shape}"
+            )
+        self._placement = placement.copy()
+        self._tier_counts = {
+            LOCAL_TIER: int(state["local_count"]),
+            CXL_TIER: int(state["cxl_count"]),
+        }
+        self.pagemap_reads = int(state["pagemap_reads"])
+        self.pagemap_pages_read = int(state["pagemap_pages_read"])
+
     # -- internal -------------------------------------------------------------------
 
     def _as_index(

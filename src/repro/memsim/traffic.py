@@ -98,6 +98,31 @@ class TrafficMeter:
             "migration": self.migration_bytes / total,
         }
 
+    def state_dict(self) -> dict:
+        return {
+            "local_access_bytes": self.local_access_bytes,
+            "cxl_access_bytes": self.cxl_access_bytes,
+            "migration_bytes": self.migration_bytes,
+            "pages_promoted": self.pages_promoted,
+            "pages_demoted": self.pages_demoted,
+            "local_accesses": self.local_accesses,
+            "cxl_accesses": self.cxl_accesses,
+            "history": [list(entry) for entry in self._history],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.local_access_bytes = int(state["local_access_bytes"])
+        self.cxl_access_bytes = int(state["cxl_access_bytes"])
+        self.migration_bytes = int(state["migration_bytes"])
+        self.pages_promoted = int(state["pages_promoted"])
+        self.pages_demoted = int(state["pages_demoted"])
+        self.local_accesses = int(state["local_accesses"])
+        self.cxl_accesses = int(state["cxl_accesses"])
+        self._history = [
+            (float(t), int(local), int(cxl))
+            for t, local, cxl in state["history"]
+        ]
+
     def windowed_hit_ratio(self) -> float:
         """Hit ratio since the most recent :meth:`checkpoint`."""
         if not self._history:

@@ -52,6 +52,10 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     # Pages that failed migration repeatedly were blacklisted
     # (pinned-page model: retrying them forever is wasted work).
     "page_blacklisted": frozenset({"direction", "count"}),
+    # The engine wrote a durable checkpoint of the run state.
+    "checkpoint_saved": frozenset({"batch", "file"}),
+    # The engine restored its state from a checkpoint (resume).
+    "checkpoint_restored": frozenset({"batch"}),
 }
 
 

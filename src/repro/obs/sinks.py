@@ -47,12 +47,23 @@ class JsonlTraceSink:
 
     Parent directories are created on demand; the file is truncated,
     so one sink == one run's trace.  Usable as a context manager.
+
+    With ``durable=True`` every event is flushed to the OS as it is
+    written and the file is fsynced on close, so a crash mid-run loses
+    at most the final (possibly torn) line -- which
+    ``repro trace validate`` tolerates.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None, stream: IO[str] | None = None):
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        stream: IO[str] | None = None,
+        durable: bool = False,
+    ):
         if (path is None) == (stream is None):
             raise ValueError("pass exactly one of path or stream")
         self.path = os.fspath(path) if path is not None else None
+        self.durable = bool(durable)
         if self.path is not None:
             parent = os.path.dirname(self.path)
             if parent:
@@ -68,9 +79,17 @@ class JsonlTraceSink:
         self._fh.write(json.dumps(event, sort_keys=True, default=float))
         self._fh.write("\n")
         self.events_written += 1
+        if self.durable:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._owns_fh and not self._fh.closed:
+            if self.durable:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:
+                    pass  # stream has no real fd (e.g. a test double)
             self._fh.close()
         elif not self._owns_fh:
             self._fh.flush()

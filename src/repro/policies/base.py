@@ -63,6 +63,30 @@ class PolicyStats:
         out.update(self.extra)
         return out
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "promotion_calls": self.promotion_calls,
+            "demotion_calls": self.demotion_calls,
+            "overhead_ns": self.overhead_ns,
+            "samples_processed": self.samples_processed,
+            "metadata_bytes": self.metadata_bytes,
+            "extra": dict(self.extra),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.promotions = int(state["promotions"])
+        self.demotions = int(state["demotions"])
+        self.promotion_calls = int(state["promotion_calls"])
+        self.demotion_calls = int(state["demotion_calls"])
+        self.overhead_ns = float(state["overhead_ns"])
+        self.samples_processed = int(state["samples_processed"])
+        self.metadata_bytes = int(state["metadata_bytes"])
+        self.extra = dict(state["extra"])
+
 
 class MigrationRetryQueue:
     """Bounded retry queue with capped exponential backoff (in batches).
@@ -201,6 +225,27 @@ class MigrationRetryQueue:
     def is_blacklisted(self, page: int) -> bool:
         return int(page) in self._blacklist
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Queue contents (entries, including in-flight sentinels, plus
+        the blacklist) as JSON-safe lists."""
+        return {
+            "entries": [
+                [page, attempts, due]
+                for page, (attempts, due) in sorted(self._entries.items())
+            ],
+            "blacklist": sorted(self._blacklist),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._entries = {
+            int(page): (int(attempts), int(due))
+            for page, attempts, due in state["entries"]
+        }
+        self._blacklist = {int(p) for p in state["blacklist"]}
+        self._blacklist_arr = None  # lazy cache; rebuilt on demand
+
 
 class TieringPolicy(abc.ABC):
     """Base class for all tiering systems."""
@@ -327,6 +372,30 @@ class TieringPolicy(abc.ABC):
         self._record_migrations(0, outcome.num_moved)
         self._count_extra("demotions_failed", outcome.num_failed)
         return outcome
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot all mutable policy state for checkpointing.
+
+        The contract (paired with :meth:`load_state`): after
+        ``p2.load_state(p1.state_dict())`` on a freshly attached policy
+        of the same class and configuration, ``p2`` behaves
+        bit-identically to ``p1`` for every subsequent ``on_batch``
+        call.  Subclasses override both methods, call ``super()``, and
+        add their own mutable fields.  Must be called after
+        :meth:`attach` (components built at attach time are part of the
+        state).
+        """
+        return {"stats": self.stats.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Must be called on an attached policy of the same class and
+        configuration as the one that produced ``state``.
+        """
+        self.stats.load_state(state["stats"])
 
     def describe(self) -> dict[str, object]:
         """Metadata for benchmark reports."""

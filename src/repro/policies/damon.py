@@ -82,6 +82,35 @@ class DAMONRegion(TieringPolicy):
         assert self._bounds is not None
         return np.diff(self._bounds)
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        assert (
+            self.pebs is not None
+            and self._bounds is not None
+            and self._region_hits is not None
+        ), "state_dict requires attach()"
+        state = super().state_dict()
+        state.update(
+            {
+                "pebs": self.pebs.state_dict(),
+                "bounds": self._bounds.copy(),
+                "region_hits": self._region_hits.copy(),
+                "accesses_since_adjust": self._accesses_since_adjust,
+            }
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        assert self.pebs is not None, "load_state requires attach()"
+        super().load_state(state)
+        self.pebs.load_state(state["pebs"])
+        self._bounds = np.asarray(state["bounds"], dtype=np.int64).copy()
+        self._region_hits = np.asarray(
+            state["region_hits"], dtype=np.float64
+        ).copy()
+        self._accesses_since_adjust = int(state["accesses_since_adjust"])
+
     # -- main hook ----------------------------------------------------------
 
     def on_batch(

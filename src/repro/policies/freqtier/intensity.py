@@ -166,3 +166,20 @@ class IntensityController:
     @property
     def sampling_active(self) -> bool:
         return self.state == TieringState.SAMPLING
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "level": int(self.level),
+            "reference_ratio": self._reference_ratio,
+            "perf": self.perf.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.state = TieringState(state["state"])
+        self.level = SamplingLevel(int(state["level"]))
+        reference = state["reference_ratio"]
+        self._reference_ratio = None if reference is None else float(reference)
+        self.perf.load_state(state["perf"])

@@ -83,3 +83,12 @@ class HotThresholdController:
             self.threshold -= 1
             self.adjustments += 1
         return self.threshold
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"threshold": self.threshold, "adjustments": self.adjustments}
+
+    def load_state(self, state: dict) -> None:
+        self.threshold = int(state["threshold"])
+        self.adjustments = int(state["adjustments"])

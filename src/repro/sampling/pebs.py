@@ -270,3 +270,41 @@ class PEBSSampler:
     def overhead_ns(self, num_samples: int) -> float:
         """Modeled CPU tax for collecting ``num_samples`` samples."""
         return num_samples * self.sample_cost_ns
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything mutable: RNG, ring contents, gap carry, counters."""
+        return {
+            "level": int(self.level),
+            "rng": self._rng.bit_generator.state,
+            "pending_pages": [arr.copy() for arr in self._pending_pages],
+            "pending_tiers": [arr.copy() for arr in self._pending_tiers],
+            "pending_count": self._pending_count,
+            "lost": self._lost,
+            "total_samples": self.total_samples,
+            "total_lost": self.total_lost,
+            "total_offered": self.total_offered,
+            "rng_values_drawn": self.rng_values_drawn,
+            "next_pos": self._next_pos,
+            "gap_prob": self._gap_prob,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.level = SamplingLevel(int(state["level"]))
+        self._rng.bit_generator.state = state["rng"]
+        self._pending_pages = [
+            np.asarray(arr) for arr in state["pending_pages"]
+        ]
+        self._pending_tiers = [
+            np.asarray(arr) for arr in state["pending_tiers"]
+        ]
+        self._pending_count = int(state["pending_count"])
+        self._lost = int(state["lost"])
+        self.total_samples = int(state["total_samples"])
+        self.total_lost = int(state["total_lost"])
+        self.total_offered = int(state["total_offered"])
+        self.rng_values_drawn = int(state["rng_values_drawn"])
+        next_pos = state["next_pos"]
+        self._next_pos = None if next_pos is None else int(next_pos)
+        self._gap_prob = float(state["gap_prob"])

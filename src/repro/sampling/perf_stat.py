@@ -108,3 +108,22 @@ class PerfStatCounter:
         if last is None:
             return False
         return abs(last - reference) > self.stability_epsilon
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "current_local": self._current.local,
+            "current_cxl": self._current.cxl,
+            "closed": list(self._closed),
+            "total_local": self.total_local,
+            "total_cxl": self.total_cxl,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._current = _Window(
+            local=int(state["current_local"]), cxl=int(state["current_cxl"])
+        )
+        self._closed = [float(ratio) for ratio in state["closed"]]
+        self.total_local = int(state["total_local"])
+        self.total_cxl = int(state["total_cxl"])

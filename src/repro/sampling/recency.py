@@ -127,3 +127,25 @@ class HintFaultScanner:
     def overhead_ns(self, num_faults: int) -> float:
         """Modeled CPU tax of servicing ``num_faults`` minor faults."""
         return num_faults * HINT_FAULT_COST_NS
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "cursor": self._cursor,
+            "unmap_time": self._unmap_time.copy(),
+            "faults_taken": self.faults_taken,
+            "windows_scanned": self.windows_scanned,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._cursor = int(state["cursor"])
+        unmap_time = np.asarray(state["unmap_time"], dtype=np.float64)
+        if unmap_time.shape != self._unmap_time.shape:
+            raise ValueError(
+                f"unmap_time shape {unmap_time.shape} != expected "
+                f"{self._unmap_time.shape}"
+            )
+        self._unmap_time = unmap_time.copy()
+        self.faults_taken = int(state["faults_taken"])
+        self.windows_scanned = int(state["windows_scanned"])

@@ -216,6 +216,28 @@ class CacheLibWorkload(Workload):
             self._phase_bounds[phase_idx] = (lo, hi)
         return self._phase_samplers[phase_idx]
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """RNG plus the state of every phase sampler built so far.
+
+        Phase indices become string keys (JSON-safe); samplers not yet
+        built are simply absent and will be constructed deterministically
+        by :meth:`_sampler_for_phase` when first needed.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "phase_samplers": {
+                str(idx): sampler.state_dict()
+                for idx, sampler in self._phase_samplers.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        for key, sampler_state in state["phase_samplers"].items():
+            self._sampler_for_phase(int(key)).load_state(sampler_state)
+
     # -- access stream --------------------------------------------------------------
 
     def batches(self) -> Iterator[AccessBatch]:

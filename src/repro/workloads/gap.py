@@ -164,6 +164,15 @@ class GapWorkload(Workload):
             arr.start_page = region.start_page
         self._machine = machine
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """RNG state only; the graph and layout are seed-deterministic."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
     # -- trace emission ------------------------------------------------------
 
     def _pick_source(self) -> int:

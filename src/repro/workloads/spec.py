@@ -42,6 +42,23 @@ class Workload(abc.ABC):
         """Yield the access stream.  May be finite (GAP/XGBoost trials)
         or unbounded (cache serving); the engine decides when to stop."""
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot mutable generator state (RNGs, cursors, churn).
+
+        The contract: after ``w2.load_state(w1.state_dict())`` on an
+        identically constructed workload, both draw identical batches.
+        Stateless workloads inherit this empty default.  Note resume
+        does **not** use this (generator-local state can't be captured);
+        the engine fast-forwards ``batches()`` instead -- this contract
+        exists for the round-trip property tests and external tools.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
     # -- helpers -----------------------------------------------------------
 
     @property

@@ -61,6 +61,12 @@ class SyntheticZipfWorkload(Workload):
                 cpu_ns=self.accesses_per_batch * self.cpu_ns_per_access,
             )
 
+    def state_dict(self) -> dict:
+        return {"sampler": self.sampler.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.sampler.load_state(state["sampler"])
+
     def hottest_pages(self, count: int) -> np.ndarray:
         """Page ids of the ``count`` most popular pages (oracle)."""
         return self._start_page + self.sampler.top_items(count)

@@ -113,6 +113,20 @@ class XGBoostWorkload(Workload):
         self._matrix_start = matrix.start_page
         self._machine = machine
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "column_sampler": self._column_sampler.state_dict(),
+            "rowblock_sampler": self._rowblock_sampler.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self._column_sampler.load_state(state["column_sampler"])
+        self._rowblock_sampler.load_state(state["rowblock_sampler"])
+
     # -- trace ------------------------------------------------------------
 
     def batches(self) -> Iterator[AccessBatch]:

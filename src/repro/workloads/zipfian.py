@@ -104,6 +104,25 @@ class ZipfianSampler:
         coins = self._rng.random(size)
         return np.where(coins < self._accept[lanes], lanes, self._alias[lanes])
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Mutable sampler state (RNG + churned rank permutation).
+
+        The CDF and alias tables are pure functions of
+        ``(num_items, alpha)`` and are not captured.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "rank_to_item": self._rank_to_item.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self._rank_to_item = np.asarray(
+            state["rank_to_item"], dtype=self._rank_to_item.dtype
+        ).copy()
+
     def item_of_rank(self, rank: int) -> int:
         """The item id occupying popularity rank ``rank``."""
         return int(self._rank_to_item[rank])

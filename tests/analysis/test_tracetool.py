@@ -175,3 +175,36 @@ class TestSummaries:
         assert summary["num_events"] == 0
         assert summary["span_ns"] == 0.0
         format_trace_summary(summary)  # must not raise
+
+
+class TestTruncatedTail:
+    """A crash mid-write with a durable sink tears at most the final
+    line; validation tolerates exactly that artifact."""
+
+    @staticmethod
+    def _valid_line(seq: int = 0) -> str:
+        return json.dumps(
+            {"type": "aging", "t_ns": 0.0, "seq": seq, "samples": 1}
+        )
+
+    def test_torn_final_line_without_newline_is_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._valid_line() + "\n" + '{"type": "aging", "t_n')
+        result = validate_trace(path)
+        assert result.ok
+        assert result.truncated_tail
+        assert len(result.events) == 1
+
+    def test_complete_final_garbage_line_is_still_an_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._valid_line() + "\n{torn}\n")
+        result = validate_trace(path)
+        assert not result.ok
+        assert not result.truncated_tail
+
+    def test_mid_file_bad_json_is_still_an_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{torn\n" + self._valid_line() + "\n")
+        result = validate_trace(path)
+        assert not result.ok
+        assert [lineno for lineno, __ in result.errors] == [1]

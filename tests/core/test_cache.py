@@ -222,3 +222,16 @@ def test_config_to_dict_covers_identity_fields():
     assert d["seed"] == 3
     assert d["memory"]["name"] == "CXL-1"
     assert d["memory"]["cxl"]["latency_ns"] > d["memory"]["local"]["latency_ns"]
+
+
+def test_len_and_clear_ignore_inflight_tmp_files(tmp_path):
+    """A crashed (or still-running) writer's ``.tmp-*.json`` must not
+    be counted as an entry nor deleted by ``clear()``."""
+    cache = ResultCache(tmp_path)
+    cache.put(_spec().fingerprint(), run_cell(_spec()))
+    inflight = tmp_path / ".tmp-abc123.json"
+    inflight.write_text("{}")
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert inflight.exists()

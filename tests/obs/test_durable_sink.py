@@ -1,0 +1,45 @@
+"""JsonlTraceSink durability: flush-per-event and fsync-on-close."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import JsonlTraceSink
+
+EVENT = {"type": "aging", "t_ns": 0.0, "seq": 0, "samples": 1}
+
+
+def test_durable_flushes_every_event_to_disk(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlTraceSink(path, durable=True)
+    try:
+        sink.write(EVENT)
+        # Visible on disk *before* close: a kill -9 now loses nothing.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["type"] == "aging"
+    finally:
+        sink.close()
+
+
+def test_non_durable_buffers_until_close(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlTraceSink(path)
+    sink.write(EVENT)
+    assert path.read_text() == ""  # still in the userspace buffer
+    sink.close()
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_durable_close_fsyncs_and_survives_fdless_streams():
+    # A StringIO has no real fd; fsync must be skipped, not raised.
+    stream = io.StringIO()
+    sink = JsonlTraceSink(stream=stream, durable=True)
+    sink.write(EVENT)
+    sink.close()
+    assert len(stream.getvalue().splitlines()) == 1
+
+
+def test_durable_flag_defaults_off(tmp_path):
+    assert JsonlTraceSink(tmp_path / "t.jsonl").durable is False

@@ -1,0 +1,63 @@
+"""Sweep journal: durable append, torn-line tolerance."""
+
+from __future__ import annotations
+
+from repro.core.config import ExperimentConfig
+from repro.core.parallel import PolicySpec, WorkloadSpec, run_cell
+from repro.state import SweepJournal
+
+SPEC_RESULT = None
+
+
+def _result():
+    global SPEC_RESULT
+    if SPEC_RESULT is None:
+        from repro.core.parallel import CellSpec
+
+        SPEC_RESULT = run_cell(
+            CellSpec(
+                WorkloadSpec("zipf", num_pages=512, alpha=1.1, seed=2),
+                PolicySpec("freqtier", seed=2),
+                ExperimentConfig(local_fraction=0.1, max_batches=6, seed=2),
+            )
+        )
+    return SPEC_RESULT
+
+
+def test_record_then_completed_round_trips(tmp_path):
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    result = _result()
+    journal.record("fp-1", result)
+    assert "fp-1" in journal
+    assert len(journal) == 1
+    assert journal.completed("fp-1").to_dict() == result.to_dict()
+    assert journal.completed("fp-other") is None
+
+
+def test_reload_from_disk(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    SweepJournal(path).record("fp-1", _result())
+    reloaded = SweepJournal(path)
+    assert reloaded.completed("fp-1").to_dict() == _result().to_dict()
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    SweepJournal(path).record("fp-1", _result())
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"fingerprint": "fp-2", "result": {"trunc')  # killed mid-append
+    reloaded = SweepJournal(path)
+    assert reloaded.completed("fp-1") is not None
+    assert "fp-2" not in reloaded
+    assert reloaded.dropped_lines == 1
+
+
+def test_malformed_entries_dropped_not_fatal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text(
+        '\n{"fingerprint": 7, "result": {}}\n["not", "a", "dict"]\n',
+        encoding="utf-8",
+    )
+    journal = SweepJournal(path)
+    assert len(journal) == 0
+    assert journal.dropped_lines == 2

@@ -281,3 +281,141 @@ class TestTracing:
             validation = validate_trace(trace_dir / f"{name}.jsonl")
             assert validation.ok, name
             assert validation.num_lines > 0, name
+
+
+class TestCheckpointCLI:
+    def _run_json(self, capsys, *extra) -> dict:
+        out = run_cli(
+            capsys,
+            "run",
+            "--workload",
+            "zipf",
+            "--policy",
+            "freqtier",
+            "--local-fraction",
+            "0.1",
+            "--json",
+            *extra,
+        )
+        return json.loads(out)
+
+    def test_kill_resume_matches_uninterrupted_run(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ck")
+        reference = self._run_json(capsys, "--batches", "30")
+        # "Kill" after 14 batches (checkpoints at 5 and 10), then resume.
+        self._run_json(
+            capsys,
+            "--batches",
+            "14",
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "5",
+        )
+        resumed = self._run_json(
+            capsys,
+            "--batches",
+            "30",
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "5",
+            "--resume",
+        )
+        assert resumed == reference
+
+    def test_checkpoint_inspect_reports_generations(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ck")
+        self._run_json(
+            capsys,
+            "--batches",
+            "10",
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "5",
+        )
+        out = run_cli(capsys, "checkpoint", "inspect", ckpt, "--json")
+        data = json.loads(out)
+        assert data["resumable"] is True
+        assert len(data["generations"]) == 2
+        assert all(g["valid"] for g in data["generations"])
+
+    def test_inspect_missing_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["checkpoint", "inspect", str(tmp_path / "nope")])
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "zipf",
+                    "--policy",
+                    "freqtier",
+                    "--batches",
+                    "5",
+                    "--resume",
+                ]
+            )
+
+
+class TestPartialFailureExitCodes:
+    CRASH = '{"crash_after_batches": 3}'
+
+    def _compare_argv(self, *extra) -> list:
+        return [
+            "compare",
+            "--workload",
+            "zipf",
+            "--policies",
+            "freqtier",
+            "--batches",
+            "8",
+            "--keep-going",
+            "--faults",
+            self.CRASH,
+            *extra,
+        ]
+
+    def test_compare_with_failed_cells_exits_1(self, capsys):
+        assert main(self._compare_argv()) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_ok_on_partial_restores_exit_0(self, capsys):
+        assert main(self._compare_argv("--ok-on-partial")) == 0
+
+    def test_sweep_with_failed_cells_exits_1(self, capsys):
+        argv = [
+            "sweep",
+            "--workload",
+            "zipf",
+            "--policy",
+            "freqtier",
+            "--fractions",
+            "0.1",
+            "--batches",
+            "8",
+            "--keep-going",
+            "--faults",
+            self.CRASH,
+        ]
+        assert main(argv) == 1
+        assert main(argv + ["--ok-on-partial"]) == 0
+
+    def test_fault_free_compare_still_exits_0(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--workload",
+                    "zipf",
+                    "--policies",
+                    "static",
+                    "--batches",
+                    "5",
+                ]
+            )
+            == 0
+        )
