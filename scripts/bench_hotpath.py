@@ -18,10 +18,18 @@ Usage::
 
 ``--check BASELINE`` validates both records against the schema and
 fails (exit 1) if any shared component's ns/op regressed more than
-``--tolerance`` (default 2.0x) against the baseline, or if the
+``--tolerance`` (default 2.0x) against the baseline, if the
 sampler's RNG reduction at MEDIUM/LOW fell below ``--min-rng-reduction``
-(default 5x).  ``--before BEFORE.json`` embeds a pre-optimization
-record and reports speedups against it.
+(default 5x), or if a *full* (non-smoke) record's engine benchmark
+exceeds its absolute ns/batch ceiling (the fused-kernel speedup
+floor; smoke records are exempt because their shorter runs amortize
+setup over fewer batches).  ``--before BEFORE.json`` embeds a
+pre-optimization record and reports speedups against it.
+
+Schema v2: engine-level components carry ``batches_per_sec`` and the
+accel ``backend`` they ran under; when numba is importable an
+``engine_cdn_numba`` entry records the compiled backend's throughput
+next to the NumPy reference.
 """
 
 from __future__ import annotations
@@ -50,11 +58,21 @@ from repro.sampling.events import AccessBatch  # noqa: E402
 from repro.sampling.pebs import PEBSSampler, SamplingLevel  # noqa: E402
 from repro.workloads.zipfian import ZipfianSampler  # noqa: E402
 
-SCHEMA_VERSION = 1
+from repro import accel  # noqa: E402
+
+SCHEMA_VERSION = 2
 
 #: Required fields of every per-component record.
 _COMPONENT_FIELDS = {"ns_per_op": float, "ops": int, "reps": int, "seconds_best": float}
 _RNG_FIELDS = {"offered": int, "drawn": int, "reduction_x": float}
+
+#: Absolute ns/batch ceilings for full (non-smoke) engine records.
+#: engine_cdn: >= 3x over the pre-fusion baseline (1,904,991 ns/batch);
+#: engine_cdn_numba: >= 5x over the same baseline.
+_ENGINE_CEILINGS_NS = {
+    "engine_cdn": 634_997.0,
+    "engine_cdn_numba": 380_998.0,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -165,8 +183,15 @@ def bench_pagetable_place(scale: int, reps: int) -> dict:
     return _timed(run, 2 * n, reps)
 
 
-def bench_engine_cdn(scale: int, reps: int) -> dict:
-    """End-to-end FreqTier cell on the bench-grid CDN workload."""
+def bench_engine_cdn(scale: int, reps: int, backend: str = "numpy") -> dict | None:
+    """End-to-end FreqTier cell on the bench-grid CDN workload.
+
+    Runs under the requested :mod:`repro.accel` backend; returns None
+    when that backend is unavailable (e.g. ``numba`` without the
+    ``[accel]`` extra installed) so callers can skip the entry.
+    """
+    if accel.set_backend(backend) != backend:
+        return None
     batches = 30 * scale
     config = ExperimentConfig(
         local_fraction=0.12,
@@ -176,9 +201,15 @@ def bench_engine_cdn(scale: int, reps: int) -> dict:
     )
     workload = WorkloadSpec("cdn", slab_pages=16_384, ops_per_batch=10_000, seed=1)
     policy = PolicySpec("freqtier", seed=1)
-    return _timed(
+    if backend != "numpy":
+        # Pay the JIT/disk-cache warm-up outside the timed region.
+        run_experiment(workload, policy, config)
+    record = _timed(
         lambda: run_experiment(workload, policy, config), batches, max(1, reps - 1)
     )
+    record["batches_per_sec"] = round(batches / record["seconds_best"], 1)
+    record["backend"] = backend
+    return record
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +241,17 @@ def validate_record(record: dict) -> list[str]:
                 errors.append(f"components[{name}].{field} missing or non-numeric")
             elif typ is int and int(value) != value:
                 errors.append(f"components[{name}].{field} must be integral")
+        if name.startswith("engine_"):
+            bps = comp.get("batches_per_sec")
+            if not isinstance(bps, (int, float)) or isinstance(bps, bool):
+                errors.append(
+                    f"components[{name}].batches_per_sec missing or non-numeric"
+                )
+            if comp.get("backend") not in ("numpy", "numba"):
+                errors.append(
+                    f"components[{name}].backend must be 'numpy' or 'numba', "
+                    f"got {comp.get('backend')!r}"
+                )
     sampler_rng = record.get("sampler_rng")
     if not isinstance(sampler_rng, dict) or not sampler_rng:
         errors.append("sampler_rng must be a non-empty object")
@@ -225,16 +267,39 @@ def validate_record(record: dict) -> list[str]:
     return errors
 
 
+def _engine_ceiling_failures(record: dict, label: str) -> list[str]:
+    """Absolute engine ns/batch gates; full (non-smoke) records only."""
+    if record.get("smoke"):
+        return []
+    failures = []
+    for name, ceiling in _ENGINE_CEILINGS_NS.items():
+        comp = record.get("components", {}).get(name)
+        if comp is not None and comp["ns_per_op"] > ceiling:
+            failures.append(
+                f"{label}: {name} {comp['ns_per_op']:.0f} ns/batch exceeds "
+                f"the fused-kernel ceiling {ceiling:.0f}"
+            )
+    return failures
+
+
 def check_regressions(
     record: dict, baseline: dict, tolerance: float, min_rng_reduction: float
 ) -> list[str]:
     """Compare a fresh record against a baseline; returns failures."""
     failures: list[str] = []
+    failures += _engine_ceiling_failures(record, "record")
+    failures += _engine_ceiling_failures(baseline, "baseline")
     base_components = baseline.get("components", {})
+    smoke_mismatch = bool(record.get("smoke")) != bool(baseline.get("smoke"))
     for name, comp in record.get("components", {}).items():
         base = base_components.get(name)
         if base is None:
             continue  # new component: no baseline yet
+        if name.startswith("engine_") and smoke_mismatch:
+            # Smoke engine runs use 5x fewer batches, so per-batch
+            # setup amortization differs structurally from a full run;
+            # the absolute ceiling above gates the full record instead.
+            continue
         now_ns, base_ns = comp["ns_per_op"], base["ns_per_op"]
         if base_ns > 0 and now_ns > tolerance * base_ns:
             failures.append(
@@ -273,10 +338,19 @@ def run_suite(smoke: bool) -> dict:
     components["zipf_reassign"] = bench_zipf_reassign(scale, reps)
     components["pagetable_tier_of"] = bench_pagetable_tier_of(scale, reps)
     components["pagetable_place"] = bench_pagetable_place(scale, reps)
-    components["engine_cdn"] = bench_engine_cdn(scale, reps)
+    components["engine_cdn"] = bench_engine_cdn(scale, reps, "numpy")
+    numba_engine = bench_engine_cdn(scale, reps, "numba")
+    if numba_engine is not None:
+        components["engine_cdn_numba"] = numba_engine
+    else:
+        print("  engine_cdn_numba         skipped (numba unavailable)")
+    accel.set_backend("numpy")
 
     for name, comp in components.items():
-        print(f"  {name:24s} {comp['ns_per_op']:12.1f} ns/op")
+        extra = ""
+        if "batches_per_sec" in comp:
+            extra = f"  ({comp['batches_per_sec']:.0f} batches/s, {comp['backend']})"
+        print(f"  {name:24s} {comp['ns_per_op']:12.1f} ns/op{extra}")
     for level, rec in sampler_rng.items():
         print(
             f"  rng@{level:6s} offered={rec['offered']:>9d} "

@@ -1,0 +1,240 @@
+"""Backend dispatch for the fused hot-path kernels.
+
+The simulator's per-batch inner loop reduces to a handful of fused
+kernels -- placement gather + tier counting, the CBF's conservative
+increase with readback, hash-index derivation, the skip sampler's gap
+expansion and the workload's run expansion.  Each kernel has two
+implementations:
+
+- :mod:`repro.accel.numpy_backend` -- pure vectorized NumPy, the
+  always-available **reference oracle**; every other backend must match
+  it bit-exactly (``tests/accel/`` enforces this);
+- :mod:`repro.accel.numba_backend` -- ``@njit(cache=True)`` compiled
+  loops, selected only when `numba <https://numba.pydata.org>`_ is
+  importable (the optional ``repro[accel]`` extra).
+
+Selection order:
+
+1. an explicit :func:`set_backend` call (tests, embedding code);
+2. the ``REPRO_ACCEL`` environment variable (``numpy`` or ``numba``);
+3. default: ``numpy``.
+
+Requesting ``numba`` without numba installed (or with a broken
+install) is *not* an error: the dispatcher silently falls back to the
+NumPy reference and records a single fallback event, which the engine
+surfaces once per run through its tracer (``accel_fallback``).  This
+keeps ``pip install repro`` dependency-light while letting
+``pip install 'repro[accel]'`` users opt into the compiled path.
+
+All kernels are pure functions of their array arguments (plus scalar
+shape/width parameters), so backend choice never affects results --
+only wall-clock speed.  Checkpoint/resume is backend-agnostic for the
+same reason.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.accel import numpy_backend
+
+#: Names accepted by :func:`set_backend` / ``REPRO_ACCEL``.
+BACKEND_NAMES = ("numpy", "numba")
+
+_active_name: str | None = None
+_active: Any = None
+_fallback_event: dict[str, str] | None = None
+
+
+def _resolve(name: str) -> tuple[str, Any]:
+    """Resolve a backend name to (actual_name, module), with fallback."""
+    global _fallback_event
+    if name == "numba":
+        try:
+            from repro.accel import numba_backend
+
+            return "numba", numba_backend
+        except Exception as exc:  # ImportError, or a broken numba install
+            _fallback_event = {
+                "requested": "numba",
+                "active": "numpy",
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+            return "numpy", numpy_backend
+    return "numpy", numpy_backend
+
+
+def set_backend(name: str) -> str:
+    """Select the kernel backend; returns the name actually activated.
+
+    ``"numba"`` may activate ``"numpy"`` when numba is unavailable (the
+    documented silent fallback); any other unknown name raises.
+    """
+    global _active_name, _active
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown accel backend {name!r}; valid: {BACKEND_NAMES}"
+        )
+    _active_name, _active = _resolve(name)
+    return _active_name
+
+
+def _ensure() -> Any:
+    global _active_name, _active, _fallback_event
+    if _active is None:
+        requested = (os.environ.get("REPRO_ACCEL") or "numpy").strip().lower()
+        if requested not in BACKEND_NAMES:
+            # A typo'd environment variable must not crash runs; note it
+            # through the same fallback channel and use the reference.
+            _fallback_event = {
+                "requested": requested,
+                "active": "numpy",
+                "reason": f"unknown REPRO_ACCEL value {requested!r}",
+            }
+            requested = "numpy"
+        _active_name, _active = _resolve(requested)
+    return _active
+
+
+def backend_name() -> str:
+    """Name of the active backend (resolving it on first use)."""
+    _ensure()
+    assert _active_name is not None
+    return _active_name
+
+
+def fallback_event() -> dict[str, str] | None:
+    """The one recorded backend-fallback event, if any (else None)."""
+    _ensure()
+    return dict(_fallback_event) if _fallback_event else None
+
+
+# ---------------------------------------------------------------------------
+# kernel entry points (thin dispatchers; signatures shared by backends)
+# ---------------------------------------------------------------------------
+
+
+def placement_counts(
+    placement: np.ndarray, page_ids: np.ndarray, out: np.ndarray
+) -> tuple[int, int]:
+    """Gather each page's tier code into ``out`` and split the counts.
+
+    ``placement`` is the page table's int8 code array (``LOCAL_TIER=0``,
+    ``CXL_TIER=1``, ``UNMAPPED=-1``); returns ``(n_local, n_cxl)`` where
+    ``n_cxl`` counts every non-local access (the engine's historical
+    accounting).  Out-of-range page ids raise ``IndexError``.
+    """
+    return _ensure().placement_counts(placement, page_ids, out)
+
+
+def placement_prefix(placement: np.ndarray, prefix: np.ndarray) -> None:
+    """Prefix sum of local placements into caller-owned scratch.
+
+    Writes ``prefix[i] = #{j < i : placement[j] == LOCAL_TIER}`` for
+    ``i`` in ``[0, placement.size]``; ``prefix`` must hold
+    ``placement.size + 1`` int64 elements.  The result feeds
+    :func:`compressed_placement_counts` and stays valid until the
+    placement array next changes (track
+    ``PageTable.version`` to reuse it across batches).
+    """
+    _ensure().placement_prefix(placement, prefix)
+
+
+def compressed_placement_counts(
+    placement: np.ndarray,
+    prefix: np.ndarray,
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[int, int]:
+    """Tier split of a run-compressed batch, without expanding it.
+
+    Counts local accesses across ``head`` (single-page accesses, a
+    direct gather) and the ``(starts, counts)`` page runs via the
+    placement prefix sum built by :func:`placement_prefix`: the local
+    hits in ``[s, s+c)`` are ``prefix[s+c] - prefix[s]``.  ``prefix``
+    must describe the current ``placement`` contents.  Returns
+    ``(n_local, n_cxl)`` with ``n_cxl`` counting every non-local
+    access, exactly like :func:`placement_counts` on the expanded
+    stream.  Out-of-range pages raise ``IndexError``.
+    """
+    return _ensure().compressed_placement_counts(
+        placement, prefix, head, starts, counts
+    )
+
+
+def blocked_indices(
+    keys: np.ndarray,
+    seed: int,
+    num_blocks: int,
+    counters_per_block: int,
+    num_hashes: int,
+) -> np.ndarray:
+    """Blocked-CBF slot indices, shape ``(len(keys), num_hashes)``.
+
+    One splitmix64 hash selects the 64-byte block, ``num_hashes``
+    further hashes select in-block slots (Lemire fold, no modulo bias).
+    """
+    return _ensure().blocked_indices(
+        keys, seed, num_blocks, counters_per_block, num_hashes
+    )
+
+
+def classic_indices(
+    keys: np.ndarray, num_hashes: int, num_slots: int, seed: int
+) -> np.ndarray:
+    """Kirsch--Mitzenmacher double-hashed slot indices ``(n, k)``."""
+    return _ensure().classic_indices(keys, num_hashes, num_slots, seed)
+
+
+def cbf_fused_update(
+    store: np.ndarray,
+    bits: int,
+    per_byte: int,
+    max_value: int,
+    idx: np.ndarray,
+    totals: np.ndarray,
+) -> np.ndarray:
+    """Fused conservative CBF increase + frequency readback.
+
+    For each row ``r`` of ``idx`` (the ``k`` counter slots of one
+    unique key): read the min counter, raise the row's counters to
+    ``min(min + totals[r], max_value)`` via scatter-max (duplicates
+    across rows resolve to the largest target), then read back the new
+    min.  Mutates ``store`` in place; returns the per-row new
+    frequencies (int64).  ``store`` is the packed backing array of a
+    :class:`repro.cbf.counters.PackedCounterArray` (uint8 for sub-byte
+    and 8-bit widths, uint16 for 16-bit).
+    """
+    return _ensure().cbf_fused_update(
+        store, bits, per_byte, max_value, idx, totals
+    )
+
+
+def gap_positions(
+    gaps: np.ndarray, pos: int, n: int, out: np.ndarray
+) -> tuple[int, int, int]:
+    """Expand geometric gaps into in-batch sample positions.
+
+    Positions are ``pos, pos+gaps[0], pos+gaps[0]+gaps[1], ...``; those
+    ``< n`` are written to ``out`` (which must hold ``len(gaps) + 1``
+    elements).  Returns ``(count, carry, last)``: ``count`` positions
+    written; ``carry`` = first position past the batch end minus ``n``
+    when the chain crossed it, else ``-1``; ``last`` = the final
+    position of the full chain (used to extend an uncrossed chain).
+    """
+    return _ensure().gap_positions(gaps, pos, n, out)
+
+
+def expand_runs(
+    starts: np.ndarray, counts: np.ndarray, out: np.ndarray
+) -> None:
+    """Expand ``(start, count)`` runs into per-page ids.
+
+    Writes ``starts[i], starts[i]+1, ..., starts[i]+counts[i]-1`` for
+    every run, concatenated, into ``out`` (sized ``counts.sum()``).
+    """
+    _ensure().expand_runs(starts, counts, out)

@@ -1,0 +1,356 @@
+"""numba ``@njit(cache=True)`` implementations of the hot-path kernels.
+
+Importing this module requires numba (the ``repro[accel]`` extra); the
+dispatch layer catches the ImportError and falls back to the NumPy
+reference.  Every kernel here must produce **bit-identical** output to
+:mod:`repro.accel.numpy_backend` -- the loops below mirror the
+vectorized math exactly (uint64 wraparound arithmetic, Lemire folds,
+per-lane packed-counter semantics), and ``tests/accel/`` enforces the
+equivalence on randomized inputs.
+
+Compilation is lazy (first call per signature) and disk-cached, so a
+warm process pays the JIT cost once per machine, not per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN_INT = 0x9E3779B97F4A7C15
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _seed_term(seed: int) -> np.uint64:
+    """Precompute ``seed * GOLDEN + GOLDEN`` (mod 2**64) for splitmix64."""
+    return np.uint64(((seed & _MASK64) * _GOLDEN_INT + _GOLDEN_INT) & _MASK64)
+
+
+@njit(cache=True)
+def _splitmix64(key, seed_term):
+    z = key + seed_term
+    z = (z ^ (z >> _U64(30))) * _MIX1
+    z = (z ^ (z >> _U64(27))) * _MIX2
+    return z ^ (z >> _U64(31))
+
+
+@njit(cache=True)
+def _fold(h, upper):
+    hi = h >> _U64(32)
+    lo = h & _U64(0xFFFFFFFF)
+    top = hi * upper + ((lo * upper) >> _U64(32))
+    return np.int64(top >> _U64(32))
+
+
+# ---------------------------------------------------------------------------
+# placement / traffic accounting
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _placement_counts(placement, page_ids, out):
+    n_local = 0
+    cap = placement.size
+    for i in range(page_ids.size):
+        p = page_ids[i]
+        if p < 0 or p >= cap:
+            return -1, i
+        t = placement[p]
+        out[i] = t
+        if t == 0:  # LOCAL_TIER
+            n_local += 1
+    return n_local, -1
+
+
+def placement_counts(
+    placement: np.ndarray, page_ids: np.ndarray, out: np.ndarray
+) -> tuple[int, int]:
+    n = page_ids.size
+    n_local, bad = _placement_counts(placement, page_ids, out[:n])
+    if bad >= 0:
+        raise IndexError(
+            f"page id {int(page_ids[bad])} out of range "
+            f"[0, {placement.size})"
+        )
+    return int(n_local), int(n - n_local)
+
+
+@njit(cache=True)
+def _placement_prefix(placement, prefix):
+    acc = 0
+    prefix[0] = 0
+    for i in range(placement.size):
+        if placement[i] == 0:  # LOCAL_TIER
+            acc += 1
+        prefix[i + 1] = acc
+
+
+def placement_prefix(placement: np.ndarray, prefix: np.ndarray) -> None:
+    _placement_prefix(placement, prefix)
+
+
+@njit(cache=True)
+def _compressed_placement_counts(placement, prefix, head, starts, counts):
+    n = placement.size
+    n_local = 0
+    total = 0
+    for j in range(head.size):
+        h = head[j]
+        if h < 0 or h >= n:
+            return -1, -1, j
+        if placement[h] == 0:
+            n_local += 1
+        total += 1
+    for r in range(starts.size):
+        s = starts[r]
+        e = s + counts[r]
+        if s < 0 or e > n or e < s:
+            return -1, -1, head.size + r
+        n_local += prefix[e] - prefix[s]
+        total += counts[r]
+    return n_local, total, -1
+
+
+def compressed_placement_counts(
+    placement: np.ndarray,
+    prefix: np.ndarray,
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[int, int]:
+    n_local, total, bad = _compressed_placement_counts(
+        placement, prefix, head, starts, counts
+    )
+    if bad >= 0:
+        raise IndexError(
+            f"access {bad} out of range [0, {placement.size})"
+        )
+    return int(n_local), int(total - n_local)
+
+
+# ---------------------------------------------------------------------------
+# hashing
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _blocked_indices(keys, seed_terms, num_blocks, cpb_u64, cpb_i64, out):
+    k = out.shape[1]
+    for j in range(keys.size):
+        key = keys[j]
+        base = _fold(_splitmix64(key, seed_terms[0]), num_blocks) * cpb_i64
+        for i in range(k):
+            out[j, i] = base + _fold(
+                _splitmix64(key, seed_terms[1 + i]), cpb_u64
+            )
+    return out
+
+
+def blocked_indices(
+    keys: np.ndarray,
+    seed: int,
+    num_blocks: int,
+    counters_per_block: int,
+    num_hashes: int,
+) -> np.ndarray:
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    seed_terms = np.empty(num_hashes + 1, dtype=np.uint64)
+    seed_terms[0] = _seed_term(seed)
+    for i in range(num_hashes):
+        seed_terms[1 + i] = _seed_term(seed + 101 + i)
+    out = np.empty((keys.size, num_hashes), dtype=np.int64)
+    return _blocked_indices(
+        keys,
+        seed_terms,
+        np.uint64(num_blocks),
+        np.uint64(counters_per_block),
+        np.int64(counters_per_block),
+        out,
+    )
+
+
+@njit(cache=True)
+def _classic_indices(keys, term1, term2, num_slots, out):
+    k = out.shape[1]
+    for j in range(keys.size):
+        key = keys[j]
+        h1 = _splitmix64(key, term1)
+        h2 = _splitmix64(key, term2) | _U64(1)
+        for i in range(k):
+            out[j, i] = np.int64((h1 + _U64(i) * h2) % num_slots)
+    return out
+
+
+def classic_indices(
+    keys: np.ndarray, num_hashes: int, num_slots: int, seed: int
+) -> np.ndarray:
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    out = np.empty((keys.size, num_hashes), dtype=np.int64)
+    return _classic_indices(
+        keys,
+        _seed_term(seed),
+        _seed_term(seed + 1),
+        np.uint64(num_slots),
+        out,
+    )
+
+
+# ---------------------------------------------------------------------------
+# packed-counter CBF update
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _fused_update_packed(store, bits, per_byte, max_value, idx, totals, out):
+    u, k = idx.shape
+    # Pass 1: per-row min of the pre-update counters -> target value.
+    for r in range(u):
+        m = max_value
+        for c in range(k):
+            j = idx[r, c]
+            v = (np.int64(store[j // per_byte]) >> ((j % per_byte) * bits)) & max_value
+            if v < m:
+                m = v
+        t = m + totals[r]
+        if t > max_value:
+            t = max_value
+        out[r] = t
+    # Pass 2: scatter-max (duplicate slots keep the largest target).
+    for r in range(u):
+        t = out[r]
+        for c in range(k):
+            j = idx[r, c]
+            bi = j // per_byte
+            sh = (j % per_byte) * bits
+            byte = np.int64(store[bi])
+            if t > ((byte >> sh) & max_value):
+                store[bi] = np.uint8(
+                    (byte & ~(max_value << sh)) | (t << sh)
+                )
+    # Pass 3: frequency readback against the fully updated store.
+    for r in range(u):
+        m = max_value
+        for c in range(k):
+            j = idx[r, c]
+            v = (np.int64(store[j // per_byte]) >> ((j % per_byte) * bits)) & max_value
+            if v < m:
+                m = v
+        out[r] = m
+    return out
+
+
+@njit(cache=True)
+def _fused_update_direct(store, max_value, idx, totals, out):
+    u, k = idx.shape
+    for r in range(u):
+        m = max_value
+        for c in range(k):
+            v = np.int64(store[idx[r, c]])
+            if v < m:
+                m = v
+        t = m + totals[r]
+        if t > max_value:
+            t = max_value
+        out[r] = t
+    for r in range(u):
+        t = out[r]
+        for c in range(k):
+            j = idx[r, c]
+            if t > np.int64(store[j]):
+                store[j] = t
+    for r in range(u):
+        m = max_value
+        for c in range(k):
+            v = np.int64(store[idx[r, c]])
+            if v < m:
+                m = v
+        out[r] = m
+    return out
+
+
+def cbf_fused_update(
+    store: np.ndarray,
+    bits: int,
+    per_byte: int,
+    max_value: int,
+    idx: np.ndarray,
+    totals: np.ndarray,
+) -> np.ndarray:
+    out = np.empty(idx.shape[0], dtype=np.int64)
+    if bits in (8, 16):
+        return _fused_update_direct(
+            store, np.int64(max_value), idx, totals, out
+        )
+    return _fused_update_packed(
+        store,
+        np.int64(bits),
+        np.int64(per_byte),
+        np.int64(max_value),
+        idx,
+        totals,
+        out,
+    )
+
+
+# ---------------------------------------------------------------------------
+# skip-sampler gap expansion
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _gap_positions(gaps, pos, n, out):
+    cur = pos
+    count = 0
+    carry = np.int64(-1)
+    crossed = False
+    if cur < n:
+        out[count] = cur
+        count += 1
+    else:
+        carry = cur - n
+        crossed = True
+    for i in range(gaps.size):
+        cur = cur + gaps[i]
+        if crossed:
+            continue
+        if cur < n:
+            out[count] = cur
+            count += 1
+        else:
+            carry = cur - n
+            crossed = True
+    return count, carry, cur
+
+
+def gap_positions(
+    gaps: np.ndarray, pos: int, n: int, out: np.ndarray
+) -> tuple[int, int, int]:
+    count, carry, last = _gap_positions(
+        gaps, np.int64(pos), np.int64(n), out
+    )
+    return int(count), int(carry), int(last)
+
+
+# ---------------------------------------------------------------------------
+# run expansion
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _expand_runs(starts, counts, out):
+    k = 0
+    for i in range(starts.size):
+        s = starts[i]
+        for j in range(counts[i]):
+            out[k] = s + j
+            k += 1
+    return out
+
+
+def expand_runs(
+    starts: np.ndarray, counts: np.ndarray, out: np.ndarray
+) -> None:
+    _expand_runs(starts, counts, out)

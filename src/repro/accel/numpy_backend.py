@@ -1,0 +1,257 @@
+"""Pure-NumPy reference implementations of the fused hot-path kernels.
+
+This backend is the **oracle**: always importable, always tested, and
+the definition of correct output for every other backend.  It is
+deliberately self-contained (imports nothing from the rest of
+``repro``) so the dispatch layer stays a leaf package; the hash and
+packed-counter math here mirrors :mod:`repro.cbf.hashing` and
+:mod:`repro.cbf.counters` bit-for-bit, and ``tests/accel/`` pins that
+equivalence against the originals on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# splitmix64 constants (Steele, Lea, Flood 2014) -- must match
+# repro.cbf.hashing exactly.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Tier codes (repro.memsim.pagetable: LOCAL_TIER=0, CXL_TIER=1).
+_LOCAL_TIER = 0
+
+
+# ---------------------------------------------------------------------------
+# placement / traffic accounting
+# ---------------------------------------------------------------------------
+
+
+def placement_counts(
+    placement: np.ndarray, page_ids: np.ndarray, out: np.ndarray
+) -> tuple[int, int]:
+    n = page_ids.size
+    view = out[:n]
+    np.take(placement, page_ids, out=view)
+    n_local = int(np.count_nonzero(view == _LOCAL_TIER))
+    return n_local, n - n_local
+
+
+def placement_prefix(placement: np.ndarray, prefix: np.ndarray) -> None:
+    n = placement.size
+    prefix[0] = 0
+    np.cumsum(placement == _LOCAL_TIER, dtype=np.int64, out=prefix[1 : n + 1])
+
+
+def compressed_placement_counts(
+    placement: np.ndarray,
+    prefix: np.ndarray,
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[int, int]:
+    n = placement.size
+    n_local = 0
+    total = 0
+    if starts.size:
+        ends = starts + counts
+        if int(starts.min()) < 0 or int(ends.max()) > n:
+            raise IndexError(
+                f"run pages out of range [0, {n}) "
+                f"(starts min {int(starts.min())}, ends max {int(ends.max())})"
+            )
+        n_local = int(prefix[ends].sum() - prefix[starts].sum())
+        total = int(counts.sum())
+    if head.size:
+        # LOCAL_TIER is 0, so local head hits are exactly the zeros;
+        # unmapped (-1) codes land in the non-local count, matching
+        # placement_counts on the expanded stream.
+        tiers = np.take(placement, head)
+        n_local += head.size - int(np.count_nonzero(tiers))
+        total += head.size
+    return n_local, total - n_local
+
+
+# ---------------------------------------------------------------------------
+# hashing
+# ---------------------------------------------------------------------------
+
+
+def _mix_rows(keys: np.ndarray, seeds: np.ndarray) -> np.ndarray:
+    """splitmix64 of ``keys`` under each seed: shape (len(seeds), n).
+
+    Row ``i`` equals ``repro.cbf.hashing.splitmix64(keys, seeds[i])``;
+    stacking the seeds turns k+1 small vector passes into one, which is
+    most of the win on the short key arrays of the demotion scan.
+    """
+    with np.errstate(over="ignore"):
+        z = keys[None, :] + (seeds * _GOLDEN + _GOLDEN)[:, None]
+        z = (z ^ (z >> _U64(30))) * _MIX1
+        z = (z ^ (z >> _U64(27))) * _MIX2
+        return z ^ (z >> _U64(31))
+
+
+def _fold(hashes: np.ndarray, upper: int) -> np.ndarray:
+    """Lemire multiply-shift fold of 64-bit hashes onto [0, upper)."""
+    hi = hashes >> _U64(32)
+    lo = hashes & _U64(0xFFFFFFFF)
+    u = _U64(upper)
+    with np.errstate(over="ignore"):
+        top = hi * u + ((lo * u) >> _U64(32))
+    return (top >> _U64(32)).astype(np.int64)
+
+
+def blocked_indices(
+    keys: np.ndarray,
+    seed: int,
+    num_blocks: int,
+    counters_per_block: int,
+    num_hashes: int,
+) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.uint64)
+    seeds = np.empty(num_hashes + 1, dtype=np.uint64)
+    seeds[0] = _U64(seed & _MASK64)
+    for i in range(num_hashes):
+        seeds[1 + i] = _U64((seed + 101 + i) & _MASK64)
+    hashes = _mix_rows(keys, seeds)  # (k+1, n)
+    base = _fold(hashes[0], num_blocks) * np.int64(counters_per_block)
+    out = np.empty((keys.size, num_hashes), dtype=np.int64)
+    for i in range(num_hashes):
+        np.add(base, _fold(hashes[1 + i], counters_per_block), out=out[:, i])
+    return out
+
+
+def classic_indices(
+    keys: np.ndarray, num_hashes: int, num_slots: int, seed: int
+) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.uint64)
+    seeds = np.array(
+        [_U64(seed & _MASK64), _U64((seed + 1) & _MASK64)], dtype=np.uint64
+    )
+    hashes = _mix_rows(keys, seeds)
+    h1 = hashes[0]
+    h2 = hashes[1] | _U64(1)
+    steps = np.arange(num_hashes, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        combined = h1[:, None] + steps[None, :] * h2[:, None]
+    return (combined % _U64(num_slots)).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# packed-counter CBF update
+# ---------------------------------------------------------------------------
+
+
+def _gather(
+    store: np.ndarray, bits: int, per_byte: int, max_value: int, idx: np.ndarray
+) -> np.ndarray:
+    if bits in (8, 16):
+        return store[idx].astype(np.int64)
+    byte_idx = idx // per_byte
+    shift = ((idx % per_byte) * bits).astype(np.uint8)
+    return ((store[byte_idx] >> shift) & np.uint8(max_value)).astype(np.int64)
+
+
+def _scatter_max(
+    store: np.ndarray,
+    bits: int,
+    per_byte: int,
+    max_value: int,
+    idx: np.ndarray,
+    vals: np.ndarray,
+) -> None:
+    if bits == 8:
+        np.maximum.at(store, idx, vals.astype(np.uint8))
+        return
+    if bits == 16:
+        np.maximum.at(store, idx, vals.astype(np.uint16))
+        return
+    # Sub-byte widths, one in-byte lane per pass (repro.cbf.counters
+    # semantics): candidates for one byte differ only in the target
+    # lane, so the byte-wise maximum equals the lane-wise maximum.
+    positions = idx % per_byte
+    mask = np.uint8(max_value)
+    for pos in range(per_byte):
+        sel = positions == pos
+        if not sel.any():
+            continue
+        byte_idx = idx[sel] // per_byte
+        shift = np.uint8(pos * bits)
+        keep = store[byte_idx] & np.uint8(~(int(mask) << shift) & 0xFF)
+        candidate = keep | (vals[sel].astype(np.uint8) << shift)
+        np.maximum.at(store, byte_idx, candidate)
+
+
+def cbf_fused_update(
+    store: np.ndarray,
+    bits: int,
+    per_byte: int,
+    max_value: int,
+    idx: np.ndarray,
+    totals: np.ndarray,
+) -> np.ndarray:
+    mins = _gather(store, bits, per_byte, max_value, idx).min(axis=1)
+    target = np.minimum(mins + totals, max_value)
+    flat = idx.ravel()
+    _scatter_max(
+        store,
+        bits,
+        per_byte,
+        max_value,
+        flat,
+        np.broadcast_to(target[:, None], idx.shape).ravel(),
+    )
+    return _gather(store, bits, per_byte, max_value, idx).min(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# skip-sampler gap expansion
+# ---------------------------------------------------------------------------
+
+
+def gap_positions(
+    gaps: np.ndarray, pos: int, n: int, out: np.ndarray
+) -> tuple[int, int, int]:
+    positions = out[: gaps.size + 1]
+    positions[0] = pos
+    np.cumsum(gaps, out=positions[1:])
+    if pos:
+        positions[1:] += pos
+    count = int(np.searchsorted(positions, n, side="left"))
+    if count < positions.size:
+        carry = int(positions[count]) - n
+    else:
+        carry = -1
+    return count, carry, int(positions[-1])
+
+
+# ---------------------------------------------------------------------------
+# run expansion (workload access streams)
+# ---------------------------------------------------------------------------
+
+
+def expand_runs(
+    starts: np.ndarray, counts: np.ndarray, out: np.ndarray
+) -> None:
+    if out.size == 0:
+        return
+    if counts.size and int(counts.min()) == 0:
+        # The boundary-scatter below needs strictly increasing run
+        # ends; empty runs contribute nothing, so drop them.
+        keep = counts > 0
+        starts = starts[keep]
+        counts = counts[keep]
+    ends = np.cumsum(counts)
+    # Difference-domain expansion: within a run consecutive elements
+    # differ by 1, and at each run boundary the difference jumps to the
+    # next start minus the previous run's last element.  One fill, one
+    # small scatter and one cumsum -- no repeat, no arange.
+    out[:] = 1
+    out[0] = starts[0]
+    if starts.size > 1:
+        # next start minus the previous run's last value (start+count-1)
+        out[ends[:-1]] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    np.cumsum(out, out=out)

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import accel
 from repro.cbf.cbf import CountingBloomFilter
-from repro.cbf.hashing import fold_to_range, splitmix64
 
 #: Size of one block in bytes = one x86 cache line.
 BLOCK_BYTES = 64
@@ -60,12 +60,12 @@ class BlockedCountingBloomFilter(CountingBloomFilter):
         return 1
 
     def _indices(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys, dtype=np.uint64)
-        # One hash picks the block, independent hashes pick in-block slots.
-        block = fold_to_range(splitmix64(keys, seed=self.seed), self.num_blocks)
-        base = block * self.counters_per_block
-        cols = np.empty((len(keys), self.num_hashes), dtype=np.int64)
-        for i in range(self.num_hashes):
-            h = splitmix64(keys, seed=self.seed + 101 + i)
-            cols[:, i] = fold_to_range(h, self.counters_per_block)
-        return base[:, None] + cols
+        # One hash picks the block, independent hashes pick in-block
+        # slots; the per-seed hash passes are fused in the kernel.
+        return accel.blocked_indices(
+            keys,
+            self.seed,
+            self.num_blocks,
+            self.counters_per_block,
+            self.num_hashes,
+        )

@@ -17,8 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import accel
 from repro.cbf.counters import PackedCounterArray
-from repro.cbf.hashing import derive_indices
 
 
 @dataclass
@@ -98,8 +98,8 @@ class CountingBloomFilter:
 
     def _indices(self, keys: np.ndarray) -> np.ndarray:
         """Shape (len(keys), k) slot indices; subclasses override."""
-        return derive_indices(
-            keys, self.num_hashes, self.num_counters, seed=self.seed
+        return accel.classic_indices(
+            keys, self.num_hashes, self.num_counters, self.seed
         )
 
     # -- queries ---------------------------------------------------------
@@ -115,6 +115,24 @@ class CountingBloomFilter:
         self.stats.gets += len(arr)
         self.stats.slot_accesses += idx.size
         return int(values[0]) if scalar else values
+
+    def slot_indices(self, keys: np.ndarray) -> np.ndarray:
+        """Shape ``(len(keys), k)`` slot indices of ``keys``.
+
+        Indices depend only on the filter's geometry and seed (both
+        fixed at construction), so callers querying a *static* key set
+        repeatedly -- e.g. the demotion scan's address-space chunks --
+        may compute them once and replay through
+        :meth:`get_by_indices`, skipping the per-call hashing.
+        """
+        return self._indices(np.asarray(keys, dtype=np.uint64))
+
+    def get_by_indices(self, idx: np.ndarray) -> np.ndarray:
+        """Frequencies for precomputed :meth:`slot_indices` rows."""
+        values = self._counters.get(idx, check=False).min(axis=1)
+        self.stats.gets += idx.shape[0]
+        self.stats.slot_accesses += idx.size
+        return values
 
     # -- updates ----------------------------------------------------------
 
@@ -149,35 +167,32 @@ class CountingBloomFilter:
         np.add.at(totals, inverse, amt)
 
         idx = self._indices(uniq)  # (u, k); in-range by construction
-        current = self._counters.get(idx, check=False)  # (u, k)
-        mins = current.min(axis=1)
-        target = np.minimum(mins + totals, self.max_count)
         # Conservative update via scatter-max: a counter rises to the
         # largest target among the keys mapping to it this batch and
         # never falls, so counters already above their key's target
         # (inflated by other keys) are untouched -- no sort needed to
-        # order colliding writes.
-        self._counters.maximum(
-            idx.ravel(),
-            np.broadcast_to(target[:, None], idx.shape).ravel(),
-            check=False,
-        )
+        # order colliding writes.  min-read + scatter-max + readback run
+        # as one fused kernel (repro.accel).
+        per_uniq = self._counters.fused_update(idx, totals)
 
-        self.stats.increments += int(amt.sum())
+        total_amt = int(amt.sum())
+        self.stats.increments += total_amt
         self.stats.slot_accesses += idx.size * 2  # read + write pass
 
-        self._since_aging += int(amt.sum())
+        self._since_aging += total_amt
         if (
             self.aging_interval is not None
             and self._since_aging >= self.aging_interval
         ):
             self.age()
+            # Historically the readback ran after auto-aging, so the
+            # returned frequencies reflect the halved counters.
+            per_uniq = self._counters.get(idx, check=False).min(axis=1)
 
-        # Frequency readback: the slot indices of ``arr`` are exactly
-        # ``idx`` rows mapped back through ``inverse``, so reuse them
-        # instead of re-hashing the full key array.
-        per_uniq = self._counters.get(idx, check=False).min(axis=1)
-        return np.minimum(per_uniq, self.max_count)[inverse].reshape(arr.shape)
+        # Frequency readback: ``fused_update`` already returned the
+        # post-update min per unique key against the fully updated
+        # store; map it back through ``inverse``.
+        return per_uniq[inverse].reshape(arr.shape)
 
     def age(self) -> None:
         """Halve all counters (keeps frequencies fresh, paper Section V-A)."""
@@ -213,10 +228,11 @@ class CountingBloomFilter:
     def counter_histogram(self) -> np.ndarray:
         """Histogram of raw counter values, length ``max_count + 1``.
 
-        Used to reproduce the paper's Figure 14 frequency CDF.
+        Used to reproduce the paper's Figure 14 frequency CDF, and by
+        the threshold controller once per processing round -- served
+        from the packed store's byte histogram without unpacking.
         """
-        values = self._counters.to_array()
-        return np.bincount(values, minlength=self.max_count + 1)
+        return self._counters.value_histogram()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

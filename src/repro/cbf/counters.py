@@ -13,7 +13,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import accel
+
 _SUPPORTED_BITS = (1, 2, 4, 8, 16)
+
+#: Per-width cache of the (max_value+1, 256) matrix counting, for each
+#: possible byte value, how many packed lanes hold each counter value.
+#: ``matrix @ byte_histogram`` is then the full counter-value histogram
+#: without unpacking the store (see :meth:`PackedCounterArray.value_histogram`).
+_LANE_COUNT_MATRICES: dict[int, np.ndarray] = {}
+
+
+def _lane_count_matrix(bits: int, per_byte: int, max_value: int) -> np.ndarray:
+    matrix = _LANE_COUNT_MATRICES.get(bits)
+    if matrix is None:
+        byte_values = np.arange(256, dtype=np.uint16)
+        matrix = np.zeros((max_value + 1, 256), dtype=np.int64)
+        cols = np.arange(256)
+        for pos in range(per_byte):
+            lane = (byte_values >> np.uint16(pos * bits)) & np.uint16(max_value)
+            np.add.at(matrix, (lane.astype(np.int64), cols), 1)
+        _LANE_COUNT_MATRICES[bits] = matrix
+    return matrix
 
 
 class PackedCounterArray:
@@ -142,6 +163,21 @@ class PackedCounterArray:
             candidate = keep | (vals[sel].astype(np.uint8) << shift)
             np.maximum.at(self._store, byte_idx, candidate)
 
+    def fused_update(self, indices: np.ndarray, totals: np.ndarray) -> np.ndarray:
+        """Fused conservative bulk update + frequency readback.
+
+        For each row of ``indices`` (shape ``(u, k)``: the ``k`` slots
+        of one key): raise the row's counters to
+        ``min(row_min + totals[row], max_value)`` via scatter-max, then
+        return the row's new minimum.  This is the CBF ``increase``
+        inner loop as one dispatchable kernel (see :mod:`repro.accel`);
+        indices must already be in-bounds (hash outputs).
+        """
+        return accel.cbf_fused_update(
+            self._store, self.bits, self._per_byte, self.max_value,
+            indices, totals,
+        )
+
     def add_saturating(self, indices: np.ndarray, amounts: np.ndarray) -> None:
         """Add ``amounts`` to counters at ``indices``, saturating at the cap.
 
@@ -183,6 +219,29 @@ class PackedCounterArray:
     def to_array(self) -> np.ndarray:
         """Unpacked copy of all counters as int64 (for tests/analysis)."""
         return self.get(np.arange(self.size, dtype=np.int64), check=False)
+
+    def value_histogram(self) -> np.ndarray:
+        """Counts of each counter value, length ``max_value + 1``.
+
+        Equivalent to ``np.bincount(self.to_array(), minlength=...)``
+        but O(bytes) instead of O(counters x unpack): one byte-level
+        ``bincount`` plus a tiny matrix product mapping byte patterns to
+        lane values.  This keeps the threshold controller's per-round
+        histogram off the unpack path (the engine's hottest fixed cost
+        before this existed).
+        """
+        if self.bits in (8, 16):
+            hist = np.bincount(self._store, minlength=self.max_value + 1)
+            return hist.astype(np.int64)
+        byte_hist = np.bincount(self._store, minlength=256)
+        matrix = _lane_count_matrix(self.bits, self._per_byte, self.max_value)
+        hist = matrix @ byte_hist
+        # Lanes past ``size`` in the trailing byte are never written and
+        # would otherwise count as zeros.
+        padding = self._store.size * self._per_byte - self.size
+        if padding:
+            hist[0] -= padding
+        return hist
 
     # -- checkpointing ---------------------------------------------------
 

@@ -22,6 +22,7 @@ machine-readable results.  ``--trace`` writes a JSONL event trace
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -125,6 +126,42 @@ def _report_failed_cells(results: dict) -> dict:
         for name, res in results.items()
         if not isinstance(res, FailedCell)
     }
+
+
+@contextlib.contextmanager
+def _maybe_profile(args: argparse.Namespace, default_stem: str):
+    """cProfile the wrapped block when ``--profile`` was given.
+
+    The stats dump lands next to the trace destination when one was
+    requested (``<trace>.pstats`` for files, ``<dir>/profile.pstats``
+    for trace directories), else at ``<default_stem>.pstats`` in the
+    working directory.  Profiling covers *this* process only: under
+    ``--jobs != 1`` the cells execute in workers, so profile with
+    ``--jobs 1`` to capture cell execution itself.
+    """
+    if not getattr(args, "profile", False):
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        # Resolve the destination after the run: a compare --trace
+        # directory exists by now even if it did not at startup.
+        trace = getattr(args, "trace", None)
+        if trace and os.path.isdir(trace):
+            dump = os.path.join(trace, "profile.pstats")
+        elif trace:
+            dump = f"{trace}.pstats"
+        else:
+            dump = f"{default_stem}.pstats"
+        pstats.Stats(profiler).dump_stats(dump)
+        print(f"profile written to {dump}", file=sys.stderr)
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -264,7 +301,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     faults = _faults_from_args(args)
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    with trace_to(args.trace) as tracer:
+    with _maybe_profile(args, "repro-run"), trace_to(args.trace) as tracer:
         result = run_experiment(
             workload,
             policy,
@@ -303,14 +340,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
     policies = {name: _lookup(registry, name, "policy") for name in names}
     config = _config_from_args(args)
     config.max_batches = None if args.batches <= 0 else args.batches
-    results = compare_policies(
-        workload,
-        policies,
-        config,
-        executor=_executor_from_args(args),
-        trace_dir=args.trace,
-        faults=_faults_from_args(args),
-    )
+    with _maybe_profile(args, "repro-compare"):
+        results = compare_policies(
+            workload,
+            policies,
+            config,
+            executor=_executor_from_args(args),
+            trace_dir=args.trace,
+            faults=_faults_from_args(args),
+        )
     num_failed = sum(
         isinstance(res, FailedCell) for res in results.values()
     )
@@ -583,6 +621,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore the newest valid snapshot in --checkpoint-dir "
         "before running (fresh start if none exists)",
     )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the run; pstats dump lands next to --trace "
+        "(<trace>.pstats) or at ./repro-run.pstats",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare several policies")
@@ -603,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write one JSONL event trace per cell under DIR "
         "(cache hits record a single cache_hit event)",
+    )
+    p_cmp.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile this process (cells run here only with --jobs 1); "
+        "pstats dump lands in the --trace dir or at "
+        "./repro-compare.pstats",
     )
     p_cmp.set_defaults(func=cmd_compare)
 

@@ -25,15 +25,58 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import accel
 from repro.core.metrics import MetricsCollector
 from repro.memsim.machine import Machine
-from repro.memsim.pagetable import LOCAL_TIER
 from repro.obs import NULL_TRACER, Tracer
 from repro.policies.base import TieringPolicy
 from repro.workloads.spec import Workload
 
 if TYPE_CHECKING:
     from repro.state import CheckpointManager
+
+
+class BatchContext:
+    """Reusable per-batch scratch arrays, owned by the engine.
+
+    The fused batch step writes each batch's placement gather into the
+    same grow-only buffer instead of allocating a fresh array per
+    batch; the policy receives a view of it through ``on_batch`` and
+    must consume it within the call (every built-in policy copies what
+    it keeps via fancy indexing).  Scratch is not checkpointed --
+    contents never outlive one batch.
+    """
+
+    def __init__(self) -> None:
+        self._tiers = np.empty(0, dtype=np.int8)
+        self._prefix = np.empty(0, dtype=np.int64)
+        self._prefix_key: tuple[int, int] | None = None
+
+    def tiers_for(self, n: int) -> np.ndarray:
+        """A length-``n`` int8 view for this batch's placement codes."""
+        if self._tiers.size < n:
+            self._tiers = np.empty(max(n, 2 * self._tiers.size), dtype=np.int8)
+        return self._tiers[:n]
+
+    def prefix_for(self, placement: np.ndarray, version: int) -> np.ndarray:
+        """The local-placement prefix sum for ``placement``.
+
+        Rebuilt only when the page table's mutation ``version`` (or the
+        placement size) changes; most batches between migration windows
+        reuse the cached sum, skipping the O(pages) cumsum.
+        """
+        n = placement.size
+        if self._prefix.size < n + 1:
+            self._prefix = np.empty(
+                max(n + 1, 2 * self._prefix.size), dtype=np.int64
+            )
+            self._prefix_key = None
+        view = self._prefix[: n + 1]
+        key = (version, n)
+        if self._prefix_key != key:
+            accel.placement_prefix(placement, view)
+            self._prefix_key = key
+        return view
 
 
 class SimulationEngine:
@@ -69,6 +112,7 @@ class SimulationEngine:
         self.checkpoint_manager = checkpoint_manager
         self.checkpoint_every_batches = int(checkpoint_every_batches)
         self.metrics = MetricsCollector()
+        self.batch_ctx = BatchContext()
         self.now_ns = 0.0
         self.batches_done = 0
         self.accesses_done = 0
@@ -92,6 +136,12 @@ class SimulationEngine:
             self.policy.set_fault_injector(self.fault_injector)
         self.policy.attach(self.machine)
         self.workload.setup(self.machine)
+        if self.tracer.enabled:
+            # Surface a requested-but-unavailable accel backend once
+            # per run (the dispatch layer itself stays silent).
+            event = accel.fallback_event()
+            if event is not None:
+                self.tracer.emit("accel_fallback", **event)
         self._setup_done = True
 
     # -- checkpointing ----------------------------------------------------
@@ -202,6 +252,10 @@ class SimulationEngine:
         ckpt_every = (
             self.checkpoint_every_batches if self.checkpoint_manager else 0
         )
+        # Policies that consume only the tier split and position-based
+        # samples opt out of stream materialization (see
+        # TieringPolicy.needs_access_stream).
+        needs_stream = getattr(self.policy, "needs_access_stream", True)
         stream = self.workload.batches()
         if self.batches_done:
             # Resuming: replay the workload generator deterministically
@@ -222,9 +276,32 @@ class SimulationEngine:
             tracer.clock_ns = self.now_ns
             if self.fault_injector is not None:
                 self.fault_injector.tick_batch()
-            tiers = machine.placement_of(batch.page_ids)
-            n_local = int(np.count_nonzero(tiers == LOCAL_TIER))
-            n_cxl = batch.num_accesses - n_local
+            # Fused placement readback.  The placement view is
+            # re-fetched each batch because load_state() replaces it.
+            placement = machine.page_table.placement_view()
+            if batch.run_starts is not None and not needs_stream:
+                # Run-compressed batch and a policy that only needs the
+                # (n_local, n_cxl) split: count tiers over the runs via
+                # a placement prefix sum -- the expanded stream is
+                # never built.
+                n_local, n_cxl = accel.compressed_placement_counts(
+                    placement,
+                    self.batch_ctx.prefix_for(
+                        placement, machine.page_table.version
+                    ),
+                    batch.head_page_ids,
+                    batch.run_starts,
+                    batch.run_counts,
+                )
+                tiers = None
+            else:
+                # Gather each access's tier code into the reused
+                # scratch buffer and count the split in one kernel --
+                # no per-batch allocation.
+                tiers = self.batch_ctx.tiers_for(batch.num_accesses)
+                n_local, n_cxl = accel.placement_counts(
+                    placement, batch.page_ids, tiers
+                )
             machine.traffic.record_accesses(n_local, n_cxl)
 
             migrated_before = machine.traffic.pages_migrated

@@ -345,6 +345,13 @@ class ExecutorStats:
     #: Times the process pool died (BrokenProcessPool) or was killed
     #: (running-cell timeout) and was rebuilt.
     pool_rebuilds: int = 0
+    #: Shared-memory stream segments published for this grid.
+    shm_segments: int = 0
+    #: Bytes of access-stream data served zero-copy from those segments.
+    shm_bytes: int = 0
+    #: Workload groups that fell back to per-cell generation after a
+    #: publish attempt failed (platform without shared memory, etc.).
+    shm_fallbacks: int = 0
 
 
 class ParallelExecutor:
@@ -387,6 +394,18 @@ class ParallelExecutor:
         Default snapshot cadence (batches) applied to cells that get a
         checkpoint directory from ``checkpoint_root`` and do not pin
         their own ``checkpoint_every``.
+    share_streams:
+        Zero-copy access-stream sharing (default on).  When several
+        pool-bound cells run the same workload spec under the same
+        batch budget, the parent generates the stream once, publishes
+        it in a :mod:`multiprocessing.shared_memory` segment, and the
+        workers replay read-only views instead of regenerating it
+        (see :mod:`repro.core.shm`).  Results are bit-identical either
+        way; ineligible cells (closure factories, unbounded budgets,
+        ``max_accesses`` limits) and platforms without shared memory
+        fall back to per-cell generation silently
+        (``stats.shm_fallbacks``).  Segments are unlinked when the
+        grid finishes (plus an ``atexit`` net).
 
     Determinism: each cell builds fresh workload/policy instances from
     its own seeds, so ``run()`` returns bit-identical results whatever
@@ -409,6 +428,7 @@ class ParallelExecutor:
         keep_going: bool = False,
         checkpoint_root: str | os.PathLike | None = None,
         checkpoint_every: int = 25,
+        share_streams: bool = True,
     ):
         self.jobs = resolve_jobs(jobs)
         if cache is not None and not isinstance(cache, ResultCache):
@@ -429,6 +449,7 @@ class ParallelExecutor:
             Path(checkpoint_root) if checkpoint_root is not None else None
         )
         self.checkpoint_every = int(checkpoint_every)
+        self.share_streams = bool(share_streams)
         self.journal = None
         if self.checkpoint_root is not None:
             from repro.state import SweepJournal
@@ -533,7 +554,74 @@ class ParallelExecutor:
         if self.jobs == 1 or len(specs) == 1:
             return [self._run_serial(spec) for spec in specs]
         self._require_picklable(specs)
-        return self._run_pool(specs)
+        specs, handles = self._substitute_shared(specs)
+        try:
+            return self._run_pool(specs)
+        finally:
+            for handle in handles:
+                handle.unlink()
+
+    # -- zero-copy stream sharing --------------------------------------
+
+    @staticmethod
+    def _stream_key(spec: CellSpec) -> tuple[str, int] | None:
+        """Sharing key of a cell, or None when ineligible.
+
+        Eligible cells have a content-addressable workload spec and a
+        bounded batch budget (the recording length); a ``max_accesses``
+        limit makes the effective batch count placement-dependent, so
+        such cells keep per-cell generation.
+        """
+        if not isinstance(spec.workload, _RegistrySpec):
+            return None
+        config = spec.config
+        if not config.max_batches or config.max_batches <= 0:
+            return None
+        if config.max_accesses is not None:
+            return None
+        try:
+            fp = cell_fingerprint({"workload": spec.workload.spec_dict()})
+        except (TypeError, ValueError):
+            return None
+        return fp, int(config.max_batches)
+
+    def _substitute_shared(
+        self, specs: list[CellSpec]
+    ) -> tuple[list[CellSpec], list[Any]]:
+        """Publish each multi-cell workload group's stream once.
+
+        Returns the (possibly substituted) spec list plus the owned
+        segment handles the caller must unlink after the grid runs.
+        Single-cell groups gain nothing and keep per-cell generation;
+        any publish failure falls back silently.
+        """
+        if not self.share_streams:
+            return specs, []
+        groups: dict[tuple[str, int], list[int]] = {}
+        for idx, spec in enumerate(specs):
+            key = self._stream_key(spec)
+            if key is not None:
+                groups.setdefault(key, []).append(idx)
+        handles: list[Any] = []
+        out = list(specs)
+        for (_, max_batches), idxs in groups.items():
+            if len(idxs) < 2:
+                continue
+            from repro.core.shm import SharedStreamFactory, publish_stream
+
+            first = specs[idxs[0]]
+            try:
+                handle = publish_stream(first.workload, max_batches)
+            except Exception:
+                self.stats.shm_fallbacks += 1
+                continue
+            handles.append(handle)
+            self.stats.shm_segments += 1
+            self.stats.shm_bytes += handle.nbytes
+            factory = SharedStreamFactory(first.workload, handle)
+            for i in idxs:
+                out[i] = replace(specs[i], workload=factory)
+        return out, handles
 
     # -- inline path ---------------------------------------------------
 

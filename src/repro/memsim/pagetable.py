@@ -30,6 +30,14 @@ class PageTable:
         #: Batched pagemap reads issued (overhead accounting).
         self.pagemap_reads = 0
         self.pagemap_pages_read = 0
+        #: Monotonic placement-mutation counter.  Bumped by every
+        #: operation that can change a placement code (place, unmap,
+        #: load_state) so callers that derive data from the placement
+        #: array -- e.g. the engine's cached tier prefix sum -- can
+        #: invalidate on change instead of recomputing per batch.  Not
+        #: checkpointed: it identifies array states within one process
+        #: only.
+        self.version = 0
 
     # -- placement mutation ---------------------------------------------
 
@@ -42,6 +50,7 @@ class PageTable:
         self._discount_previous(idx)
         self._placement[idx] = tier
         self._tier_counts[tier] += idx.size
+        self.version += 1
 
     def unmap(self, pages: np.ndarray) -> None:
         """Remove ``pages`` from all tiers."""
@@ -50,6 +59,7 @@ class PageTable:
             return
         self._discount_previous(idx)
         self._placement[idx] = UNMAPPED
+        self.version += 1
 
     def _discount_previous(self, idx: np.ndarray) -> None:
         """Subtract the prior placements at ``idx`` from the tier counts.
@@ -81,6 +91,16 @@ class PageTable:
         if np.isscalar(pages):
             return int(self._placement[int(pages)])
         return self._placement[self._as_index(pages)]
+
+    def placement_view(self) -> np.ndarray:
+        """The raw int8 placement-code array (zero-copy, read-only use).
+
+        The engine's fused per-batch kernel gathers directly from this
+        array.  Callers must not mutate it; note that
+        :meth:`load_state` *replaces* the backing array, so the view
+        must be re-fetched rather than cached across restores.
+        """
+        return self._placement
 
     def pages_in_tier(self, tier: int) -> np.ndarray:
         """All page ids currently placed on ``tier``."""
@@ -138,6 +158,7 @@ class PageTable:
         }
         self.pagemap_reads = int(state["pagemap_reads"])
         self.pagemap_pages_read = int(state["pagemap_pages_read"])
+        self.version += 1
 
     # -- internal -------------------------------------------------------------------
 

@@ -290,11 +290,19 @@ class TieringPolicy(abc.ABC):
 
     # -- main hook ----------------------------------------------------------
 
+    #: Whether on_batch() needs the materialized per-access stream
+    #: (``batch.page_ids`` and the full ``tiers`` array).  Policies
+    #: that consume only the ``(n_local, n_cxl)`` split and
+    #: position-sampled accesses (e.g. FreqTier's PEBS path) override
+    #: this to False; the engine then services run-compressed batches
+    #: without expanding them and passes ``tiers=None``.
+    needs_access_stream: bool = True
+
     @abc.abstractmethod
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:
@@ -304,8 +312,11 @@ class TieringPolicy(abc.ABC):
         ``counts``, when given, is ``(n_local, n_cxl)`` for this batch
         as already tallied by the engine -- policies that need the
         split (e.g. FreqTier's intensity monitor) use it instead of
-        re-scanning ``tiers``.  Any promotions/demotions the policy
-        performs here are recorded by the machine's traffic meter.
+        re-scanning ``tiers``.  ``tiers`` is None only for policies
+        that declare ``needs_access_stream = False`` (the engine always
+        supplies ``counts`` in that case).  Any promotions/demotions
+        the policy performs here are recorded by the machine's traffic
+        meter.
         """
 
     def _batch_counts(
@@ -318,6 +329,8 @@ class TieringPolicy(abc.ABC):
         the caller did not supply it."""
         if counts is not None:
             return int(counts[0]), int(counts[1])
+        if tiers is None:
+            raise ValueError("_batch_counts needs counts when tiers is None")
         n_local = int(np.count_nonzero(np.asarray(tiers) == LOCAL_TIER))
         return n_local, batch.num_accesses - n_local
 

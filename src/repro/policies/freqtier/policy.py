@@ -40,6 +40,11 @@ class FreqTier(TieringPolicy):
 
     name = "FreqTier"
 
+    # FreqTier consumes only the engine's (n_local, n_cxl) split and
+    # PEBS position samples, so run-compressed batches are serviced
+    # without expanding the access stream (tiers arrives as None).
+    needs_access_stream = False
+
     def __init__(self, config: FreqTierConfig | None = None, seed: int = 0):
         super().__init__()
         self.config = config or FreqTierConfig()
@@ -54,6 +59,15 @@ class FreqTier(TieringPolicy):
         self._demo_retry: MigrationRetryQueue | None = None
         self._batch_index = 0
         self._scan_cursor = 0
+        # Per-page CBF slot indices for the whole address space, built
+        # lazily on the first demotion scan.  Page ids and the CBF's
+        # geometry/seed are both fixed after attach(), so slot indices
+        # of scanned pages never change; one up-front hashing pass
+        # replaces the per-chunk hashing that otherwise dominates every
+        # scan (chunk boundaries drift between laps, so per-chunk
+        # memoization would rarely hit).  Derived data: never
+        # checkpointed, cleared on attach() (new CBF geometry/seed).
+        self._scan_index_table: np.ndarray | None = None
         self._window_accesses = 0
         self._promoted_in_window = 0
         self._empty_scan_in_window = False
@@ -97,6 +111,7 @@ class FreqTier(TieringPolicy):
         )
         num_counters = cfg.resolve_cbf_size(tracked_capacity)
         cbf_cls = BlockedCountingBloomFilter if cfg.blocked_cbf else CountingBloomFilter
+        self._scan_index_table = None
         self.cbf = cbf_cls(
             num_counters,
             num_hashes=cfg.cbf_num_hashes,
@@ -162,7 +177,7 @@ class FreqTier(TieringPolicy):
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:
@@ -175,7 +190,11 @@ class FreqTier(TieringPolicy):
         if self.intensity.sampling_active:
             self.pebs.set_level(self.intensity.level)
             before = self.pebs.total_samples
-            self.pebs.observe(batch, tiers)
+            self.pebs.observe(
+                batch,
+                tiers,
+                placement=self.machine.page_table.placement_view(),
+            )
             overhead += self.pebs.overhead_ns(self.pebs.total_samples - before)
             # Drain at the configured batch size -- or when the ring is
             # full, whichever comes first (a ring smaller than the
@@ -477,8 +496,20 @@ class FreqTier(TieringPolicy):
             local_pages = chunk[placement == LOCAL_TIER]
             if local_pages.size == 0:
                 continue
-            freqs = self.cbf.get(
-                self._units_of(local_pages).astype(np.uint64)
+            # Slot indices come from the precomputed per-page table (a
+            # row gather), not per-chunk hashing.  Accounting
+            # (cbf_op_ns) is unchanged: the real system pays the CBF
+            # lookup either way.
+            if (
+                self._scan_index_table is None
+                or self._scan_index_table.shape[0] != space.total_pages
+            ):
+                all_pages = np.arange(space.total_pages, dtype=np.int64)
+                self._scan_index_table = self.cbf.slot_indices(
+                    self._units_of(all_pages)
+                )
+            freqs = self.cbf.get_by_indices(
+                self._scan_index_table[local_pages]
             )
             overhead += local_pages.size * cfg.cbf_op_ns
             cold = local_pages[freqs < threshold]

@@ -6,19 +6,36 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import accel
 
-@dataclass
+
 class AccessBatch:
     """One batch of application memory activity.
 
     The workload generators emit these; the engine services them
     against the machine and shows them to the policy's sampler.
 
+    Two construction forms exist:
+
+    - **explicit**: ``page_ids`` carries the page id of every
+      L3-missing access, in program order.  Stored as int64, except
+      that int32 input is kept as-is (generators with sub-2**31
+      address spaces emit int32 streams; every consumer is
+      width-agnostic).
+    - **run-compressed**: ``page_ids=None`` plus ``head_page_ids``
+      (single-page accesses, e.g. index lookups) and aligned
+      ``run_starts``/``run_counts`` arrays (contiguous page runs).
+      The program order is defined as the head first, then the runs
+      expanded in order.  Hot-path consumers (the engine's fused tier
+      accounting, position-based sampling via :meth:`pages_at`) read
+      the compressed fields directly; :attr:`page_ids` materializes
+      the expanded stream lazily for everyone else.
+
     Attributes
     ----------
     page_ids:
-        Page id of every L3-missing memory access in the batch, in
-        program order (int64 array).
+        Expanded per-access page ids (materialized on first read for
+        run-compressed batches).
     num_ops:
         Application-level operations (cache GETs, graph iterations,
         boosting-round fractions) the batch represents; used for
@@ -35,14 +52,63 @@ class AccessBatch:
         use larger values.
     """
 
-    page_ids: np.ndarray
-    num_ops: float
-    cpu_ns: float
-    label: str = ""
-    bytes_per_access: float = 64.0
+    __slots__ = (
+        "num_ops",
+        "cpu_ns",
+        "label",
+        "bytes_per_access",
+        "head_page_ids",
+        "run_starts",
+        "run_counts",
+        "_page_ids",
+        "_num_accesses",
+        "_run_offsets",
+    )
 
-    def __post_init__(self) -> None:
-        self.page_ids = np.asarray(self.page_ids, dtype=np.int64)
+    def __init__(
+        self,
+        page_ids: np.ndarray | None,
+        num_ops: float,
+        cpu_ns: float,
+        label: str = "",
+        bytes_per_access: float = 64.0,
+        *,
+        head_page_ids: np.ndarray | None = None,
+        run_starts: np.ndarray | None = None,
+        run_counts: np.ndarray | None = None,
+    ):
+        self.num_ops = num_ops
+        self.cpu_ns = cpu_ns
+        self.label = label
+        self.bytes_per_access = bytes_per_access
+        self._run_offsets: np.ndarray | None = None
+        if page_ids is None:
+            if head_page_ids is None or run_starts is None or run_counts is None:
+                raise ValueError(
+                    "either page_ids or the full compressed form "
+                    "(head_page_ids, run_starts, run_counts) is required"
+                )
+            self.head_page_ids = np.asarray(head_page_ids)
+            self.run_starts = np.asarray(run_starts, dtype=np.int64)
+            self.run_counts = np.asarray(run_counts, dtype=np.int64)
+            if self.run_starts.shape != self.run_counts.shape:
+                raise ValueError(
+                    f"run_starts and run_counts must align: "
+                    f"{self.run_starts.shape} vs {self.run_counts.shape}"
+                )
+            self._page_ids: np.ndarray | None = None
+            self._num_accesses = int(self.head_page_ids.size) + int(
+                self.run_counts.sum()
+            )
+        else:
+            arr = np.asarray(page_ids)
+            if arr.dtype != np.int32:
+                arr = np.asarray(arr, dtype=np.int64)
+            self._page_ids = arr
+            self.head_page_ids = None
+            self.run_starts = None
+            self.run_counts = None
+            self._num_accesses = int(arr.size)
         if self.num_ops < 0:
             raise ValueError(f"num_ops must be >= 0, got {self.num_ops}")
         if self.cpu_ns < 0:
@@ -53,8 +119,52 @@ class AccessBatch:
             )
 
     @property
+    def page_ids(self) -> np.ndarray:
+        """The expanded per-access stream (lazy for compressed batches)."""
+        if self._page_ids is None:
+            head = self.head_page_ids
+            out = np.empty(self._num_accesses, dtype=np.int64)
+            out[: head.size] = head
+            accel.expand_runs(self.run_starts, self.run_counts, out[head.size :])
+            self._page_ids = out
+        return self._page_ids
+
+    @property
     def num_accesses(self) -> int:
-        return int(self.page_ids.size)
+        return self._num_accesses
+
+    def _offsets(self) -> np.ndarray:
+        if self._run_offsets is None:
+            self._run_offsets = np.cumsum(self.run_counts)
+        return self._run_offsets
+
+    def pages_at(self, positions: np.ndarray) -> np.ndarray:
+        """Page ids at the given access positions (program order).
+
+        O(len(positions)) on compressed batches: head positions are a
+        direct gather, tail positions map onto their run by binary
+        search over the run-length prefix.  Plain gather otherwise.
+        Used by position-based samplers so sampling a handful of
+        accesses never forces stream materialization.
+        """
+        if self._page_ids is not None:
+            return self._page_ids[positions]
+        positions = np.asarray(positions, dtype=np.int64)
+        head = self.head_page_ids
+        out = np.empty(positions.size, dtype=np.int64)
+        in_head = positions < head.size
+        if in_head.any():
+            out[in_head] = head[positions[in_head]]
+        tail = positions[~in_head] - head.size
+        if tail.size:
+            offsets = self._offsets()
+            run = np.searchsorted(offsets, tail, side="right")
+            out[~in_head] = (
+                self.run_starts[run]
+                + tail
+                - (offsets[run] - self.run_counts[run])
+            )
+        return out
 
 
 @dataclass

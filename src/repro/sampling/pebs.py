@@ -40,7 +40,12 @@ import enum
 
 import numpy as np
 
+from repro import accel
 from repro.sampling.events import AccessBatch, SampleBatch
+
+#: Shared zero-length result for batches the sampler skips entirely
+#: (callers only read it, so one instance serves every sampler).
+_EMPTY_POSITIONS = np.zeros(0, dtype=np.int64)
 
 #: Bytes per PEBS record (paper Section VII-E2: 16 bytes per sample).
 SAMPLE_RECORD_BYTES = 16
@@ -116,6 +121,9 @@ class PEBSSampler:
         # it was drawn at (a level change invalidates the carry).
         self._next_pos: int | None = None
         self._gap_prob = 0.0
+        # Grow-only scratch for sample positions (not checkpointed:
+        # contents are consumed within each observe() call).
+        self._pos_buf = np.empty(0, dtype=np.int64)
 
     # -- level control -----------------------------------------------------
 
@@ -137,7 +145,12 @@ class PEBSSampler:
 
     # -- observation ----------------------------------------------------------
 
-    def observe(self, batch: AccessBatch, tiers: np.ndarray) -> None:
+    def observe(
+        self,
+        batch: AccessBatch,
+        tiers: np.ndarray | None,
+        placement: np.ndarray | None = None,
+    ) -> None:
         """Show an access batch (with placement at access time) to the sampler.
 
         A Binomial(n, 1/period) subsample of the accesses -- positioned
@@ -145,6 +158,12 @@ class PEBSSampler:
         buffer; overflow beyond ``ring_capacity`` is dropped and
         counted as lost.  Cost is O(samples), not O(accesses): only the
         pages actually sampled are gathered and tier-tagged.
+
+        ``tiers`` may be None for run-compressed batches; the caller
+        then supplies ``placement`` (the page table's code array) and
+        sampled pages are resolved positionally via
+        :meth:`AccessBatch.pages_at` and tier-tagged by a direct
+        placement gather -- identical values, no stream expansion.
         """
         prob = self.sampling_probability
         if prob <= 0.0 or batch.num_accesses == 0:
@@ -176,11 +195,18 @@ class PEBSSampler:
             self.total_lost += n_hit - space
             positions = positions[:space]
             n_hit = space
-        sampled_pages = batch.page_ids[positions]
+        if tiers is None:
+            if placement is None:
+                raise ValueError("observe() needs tiers or placement")
+            sampled_pages = batch.pages_at(positions)
+            sampled_tiers = placement[sampled_pages]
+        else:
+            sampled_pages = batch.page_ids[positions]
+            sampled_tiers = np.asarray(tiers)[positions]
         if self.fault_injector is not None:
             sampled_pages = self.fault_injector.corrupt_samples(sampled_pages)
         self._pending_pages.append(sampled_pages)
-        self._pending_tiers.append(np.asarray(tiers)[positions])
+        self._pending_tiers.append(sampled_tiers)
         self._pending_count += n_hit
         self.total_samples += n_hit
 
@@ -200,30 +226,37 @@ class PEBSSampler:
         pos = self._next_pos
         if pos >= n:
             self._next_pos = pos - n
-            return np.zeros(0, dtype=np.int64)
-        chunks: list[np.ndarray] = []
+            return _EMPTY_POSITIONS
+        total = 0
+        buf = self._pos_buf
         while True:
             # Draw enough gaps to cross the batch end with ~6-sigma
             # headroom; the rare shortfall just loops once more.
             expected = (n - pos) * prob
             draw = int(expected + 6.0 * np.sqrt(expected)) + 16
+            need = total + draw + 1
+            if buf.size < need:
+                grown = np.empty(max(need, 2 * buf.size), dtype=np.int64)
+                grown[:total] = buf[:total]
+                buf = self._pos_buf = grown
             gaps = self._rng.geometric(prob, size=draw)
             self.rng_values_drawn += draw
-            positions = pos + np.concatenate(
-                (np.zeros(1, dtype=np.int64), np.cumsum(gaps))
+            # Fused expansion: cumulate the gaps, keep positions < n,
+            # and report the carry past the batch end in one kernel.
+            count, carry, last = accel.gap_positions(
+                gaps, pos, n, buf[total:]
             )
-            cut = int(np.searchsorted(positions, n, side="left"))
-            chunks.append(positions[:cut])
-            if cut < positions.size:
+            total += count
+            if carry >= 0:
                 # First position past the batch is the carried gap.
-                self._next_pos = int(positions[cut]) - n
+                self._next_pos = carry
                 break
-            pos = int(positions[-1]) + int(self._rng.geometric(prob))
+            pos = last + int(self._rng.geometric(prob))
             self.rng_values_drawn += 1
             if pos >= n:
                 self._next_pos = pos - n
                 break
-        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        return buf[:total]
 
     # -- draining -----------------------------------------------------------------
 

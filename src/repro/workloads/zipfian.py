@@ -100,9 +100,22 @@ class ZipfianSampler:
             raise ValueError(f"size must be >= 0, got {size}")
         if size == 0:
             return np.zeros(0, dtype=np.int64)
-        lanes = self._rng.integers(0, self.num_items, size=size)
-        coins = self._rng.random(size)
-        return np.where(coins < self._accept[lanes], lanes, self._alias[lanes])
+        # Single-uniform alias draw: u * n splits into an integer lane
+        # (the floor) and an independent Uniform[0,1) coin (the
+        # fraction).  One generator call replaces the separate
+        # bounded-integer (rejection-sampled) and coin draws, and the
+        # alias table is only gathered for the rejected lanes.
+        scaled = self._rng.random(size)
+        scaled *= self.num_items
+        lanes = scaled.astype(np.int64)
+        # u < 1 guarantees u*n < n exactly; the clip only guards the
+        # pathological round-to-n at the very top of the mantissa.
+        np.minimum(lanes, self.num_items - 1, out=lanes)
+        np.subtract(scaled, lanes, out=scaled)
+        rejected = np.flatnonzero(scaled >= self._accept[lanes])
+        if rejected.size:
+            lanes[rejected] = self._alias[lanes[rejected]]
+        return lanes
 
     # -- checkpointing ---------------------------------------------------
 

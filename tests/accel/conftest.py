@@ -1,0 +1,12 @@
+"""Shared fixtures for the accel backend-equivalence suite."""
+
+import pytest
+
+from repro import accel
+
+
+@pytest.fixture(autouse=True)
+def _numpy_backend_after():
+    """Leave the process on the reference backend whatever a test did."""
+    yield
+    accel.set_backend("numpy")

@@ -1,0 +1,253 @@
+"""The NumPy backend is the oracle: pin it against the originals.
+
+Every kernel in :mod:`repro.accel.numpy_backend` restates math that
+also exists elsewhere in the tree (``repro.cbf.hashing``,
+``repro.cbf.counters`` semantics) or replaces a straightforward
+construction (expanded-stream counting, ``np.repeat`` run expansion).
+These tests hold the restatements to the originals on randomized
+inputs, so the reference backend stays a trustworthy equivalence
+target for compiled backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import numpy_backend as nb
+from repro.cbf.counters import PackedCounterArray
+from repro.cbf.hashing import derive_indices, fold_to_range, splitmix64
+
+
+def _random_runs(rng, n_pages, n_runs, max_count):
+    starts = rng.integers(0, n_pages - max_count, size=n_runs, dtype=np.int64)
+    counts = rng.integers(0, max_count + 1, size=n_runs, dtype=np.int64)
+    return starts, counts
+
+
+def _expand(starts, counts):
+    if counts.sum() == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [np.arange(s, s + c, dtype=np.int64) for s, c in zip(starts, counts) if c]
+    )
+
+
+# ---------------------------------------------------------------------------
+# placement counting
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_placement_counts_matches_naive(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    placement = rng.choice(
+        np.array([-1, 0, 1], dtype=np.int8), size=n_pages
+    )
+    page_ids = rng.integers(0, n_pages, size=10_000, dtype=np.int64)
+    out = np.empty(page_ids.size, dtype=np.int8)
+    n_local, n_cxl = nb.placement_counts(placement, page_ids, out)
+    expected = placement[page_ids]
+    np.testing.assert_array_equal(out, expected)
+    assert n_local == int(np.count_nonzero(expected == 0))
+    assert n_local + n_cxl == page_ids.size
+
+
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_compressed_counts_match_expanded_stream(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    placement = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=n_pages)
+    starts, counts = _random_runs(rng, n_pages, n_runs=200, max_count=37)
+    head = rng.integers(0, n_pages, size=150, dtype=np.int64)
+
+    prefix = np.empty(n_pages + 1, dtype=np.int64)
+    nb.placement_prefix(placement, prefix)
+    n_local, n_cxl = nb.compressed_placement_counts(
+        placement, prefix, head, starts, counts
+    )
+
+    expanded = np.concatenate([head, _expand(starts, counts)])
+    out = np.empty(expanded.size, dtype=np.int8)
+    exp_local, exp_cxl = nb.placement_counts(placement, expanded, out)
+    assert (n_local, n_cxl) == (exp_local, exp_cxl)
+
+
+def test_compressed_counts_empty_batch():
+    placement = np.zeros(8, dtype=np.int8)
+    prefix = np.empty(9, dtype=np.int64)
+    nb.placement_prefix(placement, prefix)
+    empty = np.empty(0, dtype=np.int64)
+    assert nb.compressed_placement_counts(
+        placement, prefix, empty, empty, empty
+    ) == (0, 0)
+
+
+def test_compressed_counts_out_of_range_raises():
+    placement = np.zeros(8, dtype=np.int8)
+    prefix = np.empty(9, dtype=np.int64)
+    nb.placement_prefix(placement, prefix)
+    empty = np.empty(0, dtype=np.int64)
+    with pytest.raises(IndexError):
+        nb.compressed_placement_counts(
+            placement,
+            prefix,
+            empty,
+            np.array([6], dtype=np.int64),
+            np.array([5], dtype=np.int64),  # run [6, 11) exceeds 8 pages
+        )
+
+
+def test_placement_prefix_definition():
+    placement = np.array([0, 1, 0, -1, 0], dtype=np.int8)
+    prefix = np.empty(6, dtype=np.int64)
+    nb.placement_prefix(placement, prefix)
+    np.testing.assert_array_equal(prefix, [0, 1, 1, 2, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# hashing
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 17])
+@pytest.mark.parametrize("num_hashes", [1, 3, 5])
+def test_classic_indices_match_derive_indices(seed, num_hashes):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 48, size=5_000, dtype=np.uint64)
+    num_slots = 1_048_573
+    got = nb.classic_indices(keys, num_hashes, num_slots, seed)
+    expected = derive_indices(keys, num_hashes, num_slots, seed=seed)
+    np.testing.assert_array_equal(got, expected)
+
+
+@pytest.mark.parametrize("seed", [2, 23])
+def test_blocked_indices_match_original_construction(seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 48, size=5_000, dtype=np.uint64)
+    num_blocks, counters_per_block, num_hashes = 4096, 16, 3
+    got = nb.blocked_indices(
+        keys, seed, num_blocks, counters_per_block, num_hashes
+    )
+    # The original derivation: one splitmix64+fold picks the block, k
+    # more pick in-block slots (repro.cbf.blocked's pre-accel math).
+    base = fold_to_range(splitmix64(keys, seed=seed), num_blocks)
+    base = base * counters_per_block
+    for i in range(num_hashes):
+        slot = fold_to_range(
+            splitmix64(keys, seed=seed + 101 + i), counters_per_block
+        )
+        np.testing.assert_array_equal(got[:, i], base + slot)
+
+
+# ---------------------------------------------------------------------------
+# fused CBF update
+# ---------------------------------------------------------------------------
+
+
+def _reference_fused_update(counters, idx, totals):
+    """Conservative increase + readback restated with scalar Python.
+
+    Same three-pass contract as the kernel -- per-row minima against
+    the *pre-update* store, a slot-wise scatter-max of the row targets
+    (duplicate slots keep the largest), then a readback -- but built on
+    ``PackedCounterArray.get``/``set`` and a dict instead of array
+    kernels, so the comparison is independent of the implementation
+    under test.
+    """
+    pre = counters.get(idx)  # (rows, k) against the untouched store
+    targets = np.minimum(pre.min(axis=1) + totals, counters.max_value)
+    best: dict[int, int] = {}
+    for row, target in zip(idx.tolist(), targets.tolist()):
+        for slot in row:
+            best[slot] = max(best.get(slot, 0), target)
+    slots = np.fromiter(best.keys(), dtype=np.int64, count=len(best))
+    raised = np.maximum(
+        counters.get(slots),
+        np.fromiter(best.values(), dtype=np.int64, count=len(best)),
+    )
+    counters.set(slots, raised)
+    return counters.get(idx).min(axis=1).astype(np.int64)
+
+
+@pytest.mark.parametrize("bits", [2, 4, 8, 16])
+def test_cbf_fused_update_matches_sequential_reference(bits):
+    rng = np.random.default_rng(bits)
+    size = 512
+    ref = PackedCounterArray(size, bits=bits)
+    fused = PackedCounterArray(size, bits=bits)
+    # Several rounds so saturation and duplicate-slot rows both occur.
+    for round_seed in range(4):
+        idx = rng.integers(0, size, size=(64, 3), dtype=np.int64)
+        totals = rng.integers(1, 5, size=64, dtype=np.int64)
+        expected = _reference_fused_update(ref, idx, totals)
+        got = nb.cbf_fused_update(
+            fused._store,
+            fused.bits,
+            fused._per_byte,
+            fused.max_value,
+            idx,
+            totals,
+        )
+        np.testing.assert_array_equal(got, expected)
+        np.testing.assert_array_equal(fused._store, ref._store)
+
+
+# ---------------------------------------------------------------------------
+# gap expansion
+# ---------------------------------------------------------------------------
+
+
+def _reference_gap_positions(gaps, pos, n):
+    positions = [pos]
+    for g in gaps:
+        positions.append(positions[-1] + int(g))
+    in_batch = [p for p in positions if p < n]
+    crossed = [p for p in positions if p >= n]
+    carry = crossed[0] - n if crossed else -1
+    return in_batch, carry, positions[-1]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_gap_positions_match_reference(seed):
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(1, 50, size=40, dtype=np.int64)
+    pos = int(rng.integers(0, 30))
+    n = int(rng.integers(100, 1500))
+    out = np.empty(gaps.size + 1, dtype=np.int64)
+    count, carry, last = nb.gap_positions(gaps, pos, n, out)
+    exp_positions, exp_carry, exp_last = _reference_gap_positions(gaps, pos, n)
+    np.testing.assert_array_equal(out[:count], exp_positions)
+    assert carry == exp_carry
+    assert last == exp_last
+
+
+def test_gap_positions_start_beyond_batch():
+    gaps = np.array([5, 7], dtype=np.int64)
+    out = np.empty(3, dtype=np.int64)
+    count, carry, last = nb.gap_positions(gaps, 10, 4, out)
+    assert count == 0
+    assert carry == 6  # first position (10) minus n (4)
+    assert last == 22
+
+
+# ---------------------------------------------------------------------------
+# run expansion
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_expand_runs_matches_concatenated_aranges(seed):
+    rng = np.random.default_rng(seed)
+    starts, counts = _random_runs(rng, n_pages=10_000, n_runs=300, max_count=25)
+    expected = _expand(starts, counts)
+    out = np.empty(int(counts.sum()), dtype=np.int64)
+    nb.expand_runs(starts, counts, out)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_expand_runs_empty():
+    empty = np.empty(0, dtype=np.int64)
+    out = np.empty(0, dtype=np.int64)
+    nb.expand_runs(empty, empty, out)  # must not raise

@@ -1,0 +1,146 @@
+"""numba backend vs the NumPy reference oracle: bit-exact, every kernel.
+
+Skipped wholesale when numba is not installed (the default CI job and
+a plain ``pip install repro``); the ``accel`` CI job installs the
+``[accel]`` extra and runs it for real.  Randomized inputs, fixed
+seeds -- any divergence is a kernel bug, never noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("numba")
+
+from repro.accel import numba_backend as cb  # noqa: E402
+from repro.accel import numpy_backend as nb  # noqa: E402
+
+SEEDS = [0, 1, 2]
+
+
+def _placement(rng, n_pages):
+    return rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=n_pages)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_placement_counts(seed):
+    rng = np.random.default_rng(seed)
+    placement = _placement(rng, 4096)
+    page_ids = rng.integers(0, 4096, size=20_000, dtype=np.int64)
+    out_nb = np.empty(page_ids.size, dtype=np.int8)
+    out_cb = np.empty(page_ids.size, dtype=np.int8)
+    assert cb.placement_counts(placement, page_ids, out_cb) == nb.placement_counts(
+        placement, page_ids, out_nb
+    )
+    np.testing.assert_array_equal(out_cb, out_nb)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_placement_prefix_and_compressed_counts(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    placement = _placement(rng, n_pages)
+    prefix_nb = np.empty(n_pages + 1, dtype=np.int64)
+    prefix_cb = np.empty(n_pages + 1, dtype=np.int64)
+    nb.placement_prefix(placement, prefix_nb)
+    cb.placement_prefix(placement, prefix_cb)
+    np.testing.assert_array_equal(prefix_cb, prefix_nb)
+
+    starts = rng.integers(0, n_pages - 40, size=300, dtype=np.int64)
+    counts = rng.integers(0, 41, size=300, dtype=np.int64)
+    head = rng.integers(0, n_pages, size=200, dtype=np.int64)
+    assert cb.compressed_placement_counts(
+        placement, prefix_cb, head, starts, counts
+    ) == nb.compressed_placement_counts(placement, prefix_nb, head, starts, counts)
+
+
+def test_compressed_counts_bounds_error():
+    placement = np.zeros(8, dtype=np.int8)
+    prefix = np.empty(9, dtype=np.int64)
+    cb.placement_prefix(placement, prefix)
+    empty = np.empty(0, dtype=np.int64)
+    with pytest.raises(IndexError):
+        cb.compressed_placement_counts(
+            placement,
+            prefix,
+            empty,
+            np.array([6], dtype=np.int64),
+            np.array([5], dtype=np.int64),
+        )
+    with pytest.raises(IndexError):
+        cb.placement_counts(
+            placement,
+            np.array([8], dtype=np.int64),
+            np.empty(1, dtype=np.int8),
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("num_hashes", [1, 3, 5])
+def test_classic_indices(seed, num_hashes):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 48, size=5_000, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        cb.classic_indices(keys, num_hashes, 1_048_573, seed),
+        nb.classic_indices(keys, num_hashes, 1_048_573, seed),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_blocked_indices(seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 48, size=5_000, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        cb.blocked_indices(keys, seed, 4096, 16, 3),
+        nb.blocked_indices(keys, seed, 4096, 16, 3),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("bits", [2, 4, 8, 16])
+def test_cbf_fused_update(seed, bits):
+    rng = np.random.default_rng(seed * 31 + bits)
+    size = 512
+    per_byte = 1 if bits in (8, 16) else 8 // bits
+    n_store = size if bits in (8, 16) else -(-size // per_byte)
+    dtype = np.uint16 if bits == 16 else np.uint8
+    store_nb = rng.integers(0, 256, size=n_store).astype(dtype)
+    store_cb = store_nb.copy()
+    max_value = (1 << bits) - 1
+    for _ in range(3):
+        idx = rng.integers(0, size, size=(64, 3), dtype=np.int64)
+        totals = rng.integers(1, 5, size=64, dtype=np.int64)
+        np.testing.assert_array_equal(
+            cb.cbf_fused_update(store_cb, bits, per_byte, max_value, idx, totals),
+            nb.cbf_fused_update(store_nb, bits, per_byte, max_value, idx, totals),
+        )
+        np.testing.assert_array_equal(store_cb, store_nb)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gap_positions(seed):
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(1, 50, size=60, dtype=np.int64)
+    pos = int(rng.integers(0, 40))
+    n = int(rng.integers(100, 2000))
+    out_nb = np.empty(gaps.size + 1, dtype=np.int64)
+    out_cb = np.empty(gaps.size + 1, dtype=np.int64)
+    res_nb = nb.gap_positions(gaps, pos, n, out_nb)
+    res_cb = cb.gap_positions(gaps, pos, n, out_cb)
+    assert res_cb == res_nb
+    count = res_nb[0]
+    np.testing.assert_array_equal(out_cb[:count], out_nb[:count])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_expand_runs(seed):
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 10_000, size=300, dtype=np.int64)
+    counts = rng.integers(0, 25, size=300, dtype=np.int64)
+    total = int(counts.sum())
+    out_nb = np.empty(total, dtype=np.int64)
+    out_cb = np.empty(total, dtype=np.int64)
+    nb.expand_runs(starts, counts, out_nb)
+    cb.expand_runs(starts, counts, out_cb)
+    np.testing.assert_array_equal(out_cb, out_nb)

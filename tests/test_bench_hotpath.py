@@ -31,6 +31,7 @@ def _minimal_record(bench):
         "reps": 3,
         "seconds_best": 1e-4,
     }
+    engine = dict(component, batches_per_sec=10_000.0, backend="numpy")
     return {
         "schema_version": bench.SCHEMA_VERSION,
         "benchmark": "hot-path microbenchmarks",
@@ -40,7 +41,7 @@ def _minimal_record(bench):
         "components": {
             "hashing": dict(component),
             "cbf_increase": dict(component),
-            "engine_cdn": dict(component),
+            "engine_cdn": engine,
         },
         "sampler_rng": {
             "MEDIUM": {"offered": 1000, "drawn": 10, "reduction_x": 100.0},
@@ -81,6 +82,20 @@ class TestValidateRecord:
         del rec["sampler_rng"]["LOW"]["reduction_x"]
         assert any("LOW" in e for e in bench.validate_record(rec))
 
+    def test_engine_without_batches_per_sec_flagged(self, bench):
+        rec = _minimal_record(bench)
+        del rec["components"]["engine_cdn"]["batches_per_sec"]
+        assert any("batches_per_sec" in e for e in bench.validate_record(rec))
+
+    def test_engine_with_unknown_backend_flagged(self, bench):
+        rec = _minimal_record(bench)
+        rec["components"]["engine_cdn"]["backend"] = "cython"
+        assert any("backend" in e for e in bench.validate_record(rec))
+
+    def test_non_engine_component_needs_no_throughput(self, bench):
+        # hashing has neither batches_per_sec nor backend: still valid.
+        assert bench.validate_record(_minimal_record(bench)) == []
+
 
 class TestCheckRegressions:
     def test_equal_times_pass(self, bench):
@@ -112,3 +127,28 @@ class TestCheckRegressions:
         rec["sampler_rng"]["MEDIUM"]["reduction_x"] = 2.0  # below 5x floor
         errors = bench.check_regressions(rec, _minimal_record(bench), 2.0, 5.0)
         assert any("MEDIUM" in e for e in errors)
+
+    def test_engine_ceiling_enforced_on_full_records(self, bench):
+        base = _minimal_record(bench)
+        base["smoke"] = False
+        over = bench._ENGINE_CEILINGS_NS["engine_cdn"] * 2
+        base["components"]["engine_cdn"]["ns_per_op"] = over
+        errors = bench.check_regressions(_minimal_record(bench), base, 1e9, 0.0)
+        assert any("ceiling" in e for e in errors)
+
+    def test_engine_relative_check_skipped_across_smoke_mismatch(self, bench):
+        rec = _minimal_record(bench)  # smoke
+        base = _minimal_record(bench)
+        base["smoke"] = False
+        rec["components"]["engine_cdn"]["ns_per_op"] = 300.0  # 3x of 100
+        rec["components"]["hashing"]["ns_per_op"] = 300.0
+        errors = bench.check_regressions(rec, base, 2.0, 0.0)
+        assert any("hashing" in e for e in errors)
+        assert not any("engine_cdn" in e for e in errors)
+
+    def test_engine_ceiling_skipped_for_smoke_records(self, bench):
+        rec = _minimal_record(bench)  # smoke record
+        over = bench._ENGINE_CEILINGS_NS["engine_cdn"] * 2
+        rec["components"]["engine_cdn"]["ns_per_op"] = over
+        errors = bench.check_regressions(rec, _minimal_record(bench), 1e9, 0.0)
+        assert errors == []
