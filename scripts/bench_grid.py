@@ -32,6 +32,7 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
         sys.path.insert(0, entry)
 
 from benchmarks._common import CACHELIB_RATIOS, cdn_workload, run_grid  # noqa: E402
+from repro import accel  # noqa: E402
 from repro.core.parallel import ParallelExecutor, resolve_jobs  # noqa: E402
 
 
@@ -45,6 +46,16 @@ def _time_grid(executor, batches: int, seed: int):
         executor=executor,
     )
     return time.perf_counter() - start, grid
+
+
+def _shm_stats(executor) -> dict:
+    """Zero-copy stream-sharing columns for one executor pass."""
+    stats = executor.stats
+    return {
+        "shm_segments": stats.shm_segments,
+        "shm_bytes": stats.shm_bytes,
+        "shm_fallbacks": stats.shm_fallbacks,
+    }
 
 
 def _flatten(grid) -> dict[str, dict]:
@@ -75,16 +86,22 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"grid: {cells} cells, {args.batches} batches/cell, jobs={jobs}")
 
-    serial_s, serial_grid = _time_grid(
-        ParallelExecutor(jobs=1), args.batches, args.seed
-    )
+    serial_executor = ParallelExecutor(jobs=1)
+    serial_s, serial_grid = _time_grid(serial_executor, args.batches, args.seed)
     print(f"serial (jobs=1):          {serial_s:8.2f} s")
 
     with tempfile.TemporaryDirectory(prefix="bench-grid-cache-") as cache_dir:
+        parallel_executor = ParallelExecutor(jobs=jobs, cache=cache_dir)
         parallel_s, parallel_grid = _time_grid(
-            ParallelExecutor(jobs=jobs, cache=cache_dir), args.batches, args.seed
+            parallel_executor, args.batches, args.seed
         )
-        print(f"parallel (jobs={jobs}, cold): {parallel_s:8.2f} s")
+        shm = _shm_stats(parallel_executor)
+        print(
+            f"parallel (jobs={jobs}, cold): {parallel_s:8.2f} s  "
+            f"(shm: {shm['shm_segments']} segments, "
+            f"{shm['shm_bytes'] / 1e6:.1f} MB, "
+            f"{shm['shm_fallbacks']} fallbacks)"
+        )
 
         warm_s, warm_grid = _time_grid(
             ParallelExecutor(jobs=jobs, cache=cache_dir), args.batches, args.seed
@@ -104,12 +121,14 @@ def main(argv: list[str] | None = None) -> int:
         "batches_per_cell": args.batches,
         "jobs": jobs,
         "cpus_available": resolve_jobs(0),
+        "accel_backend": accel.backend_name(),
         "serial_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_s, 3),
         "warm_cache_s": round(warm_s, 3),
         "speedup_parallel_vs_serial": round(speedup, 3),
         "warm_over_cold_fraction": round(warm_fraction, 4),
         "results_identical": True,
+        **shm,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2)

@@ -29,7 +29,10 @@ pre-optimization record and reports speedups against it.
 Schema v2: engine-level components carry ``batches_per_sec`` and the
 accel ``backend`` they ran under; when numba is importable an
 ``engine_cdn_numba`` entry records the compiled backend's throughput
-next to the NumPy reference.
+next to the NumPy reference.  Besides FreqTier (``engine_cdn``), every
+policy in ``_ENGINE_POLICIES`` gets its own ``engine_cdn_<policy>``
+end-to-end cell so the run-compressed fast paths are gated per policy,
+not just for the one policy that happened to be compressed first.
 """
 
 from __future__ import annotations
@@ -66,12 +69,33 @@ SCHEMA_VERSION = 2
 _COMPONENT_FIELDS = {"ns_per_op": float, "ops": int, "reps": int, "seconds_best": float}
 _RNG_FIELDS = {"offered": int, "drawn": int, "reduction_x": float}
 
+#: ns/op below this is dominated by per-call setup and timer jitter
+#: (the skip-sampling observers run at fractions of a ns per offered
+#: access), so the relative regression test compares against at least
+#: this much: a component must exceed ``tolerance * max(base, floor)``
+#: to fail.  Real components (hashing, CBF, engine cells) sit well
+#: above it.
+_NS_NOISE_FLOOR = 1.0
+
 #: Absolute ns/batch ceilings for full (non-smoke) engine records.
 #: engine_cdn: >= 3x over the pre-fusion baseline (1,904,991 ns/batch);
-#: engine_cdn_numba: >= 5x over the same baseline.
+#: engine_cdn_numba: >= 5x over the same baseline.  The per-policy
+#: entries gate the run-compressed fast paths against their
+#: stream-expanding pre-compression baselines (measured at the same
+#: scale): hemem 1,153,470 / autonuma 4,309,934 / multiclock 631,337 /
+#: tpp 4,329,619 / damon 891,259 ns/batch.  hemem, autonuma and tpp
+#: ceilings sit >= 2x under those baselines; multiclock and damon are
+#: floored by RNG-bound workload generation and sequential region
+#: bookkeeping, so their ceilings are regression guards near (or, for
+#: damon, slightly above) the old baseline rather than 2x gates.
 _ENGINE_CEILINGS_NS = {
     "engine_cdn": 634_997.0,
     "engine_cdn_numba": 380_998.0,
+    "engine_cdn_hemem": 576_000.0,
+    "engine_cdn_autonuma": 2_150_000.0,
+    "engine_cdn_multiclock": 600_000.0,
+    "engine_cdn_tpp": 2_160_000.0,
+    "engine_cdn_damon": 1_100_000.0,
 }
 
 
@@ -183,8 +207,17 @@ def bench_pagetable_place(scale: int, reps: int) -> dict:
     return _timed(run, 2 * n, reps)
 
 
-def bench_engine_cdn(scale: int, reps: int, backend: str = "numpy") -> dict | None:
-    """End-to-end FreqTier cell on the bench-grid CDN workload.
+#: Policies timed end-to-end on the CDN workload besides FreqTier.
+#: All run the engine's run-compressed fast path (no stream expansion):
+#: the PEBS policies sample by position, the hint-fault policies scan
+#: runs directly.
+_ENGINE_POLICIES = ("hemem", "autonuma", "multiclock", "tpp", "damon")
+
+
+def bench_engine_policy(
+    policy_name: str, scale: int, reps: int, backend: str = "numpy"
+) -> dict | None:
+    """End-to-end policy cell on the bench-grid CDN workload.
 
     Runs under the requested :mod:`repro.accel` backend; returns None
     when that backend is unavailable (e.g. ``numba`` without the
@@ -200,7 +233,7 @@ def bench_engine_cdn(scale: int, reps: int, backend: str = "numpy") -> dict | No
         seed=1,
     )
     workload = WorkloadSpec("cdn", slab_pages=16_384, ops_per_batch=10_000, seed=1)
-    policy = PolicySpec("freqtier", seed=1)
+    policy = PolicySpec(policy_name, seed=1)
     if backend != "numpy":
         # Pay the JIT/disk-cache warm-up outside the timed region.
         run_experiment(workload, policy, config)
@@ -301,7 +334,7 @@ def check_regressions(
             # the absolute ceiling above gates the full record instead.
             continue
         now_ns, base_ns = comp["ns_per_op"], base["ns_per_op"]
-        if base_ns > 0 and now_ns > tolerance * base_ns:
+        if base_ns > 0 and now_ns > tolerance * max(base_ns, _NS_NOISE_FLOOR):
             failures.append(
                 f"{name}: {now_ns:.1f} ns/op vs baseline {base_ns:.1f} "
                 f"(> {tolerance:.1f}x)"
@@ -338,12 +371,16 @@ def run_suite(smoke: bool) -> dict:
     components["zipf_reassign"] = bench_zipf_reassign(scale, reps)
     components["pagetable_tier_of"] = bench_pagetable_tier_of(scale, reps)
     components["pagetable_place"] = bench_pagetable_place(scale, reps)
-    components["engine_cdn"] = bench_engine_cdn(scale, reps, "numpy")
-    numba_engine = bench_engine_cdn(scale, reps, "numba")
+    components["engine_cdn"] = bench_engine_policy("freqtier", scale, reps, "numpy")
+    numba_engine = bench_engine_policy("freqtier", scale, reps, "numba")
     if numba_engine is not None:
         components["engine_cdn_numba"] = numba_engine
     else:
         print("  engine_cdn_numba         skipped (numba unavailable)")
+    for name in _ENGINE_POLICIES:
+        components[f"engine_cdn_{name}"] = bench_engine_policy(
+            name, scale, reps, "numpy"
+        )
     accel.set_backend("numpy")
 
     for name, comp in components.items():

@@ -238,3 +238,88 @@ def expand_runs(
     every run, concatenated, into ``out`` (sized ``counts.sum()``).
     """
     _ensure().expand_runs(starts, counts, out)
+
+
+def run_pages_at(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    positions: np.ndarray,
+    sorted_positions: bool = False,
+) -> np.ndarray:
+    """Position→page gather over a run-compressed batch.
+
+    Program order is ``head`` first, then the ``(starts, counts)`` runs
+    expanded in order; ``offsets`` is ``cumsum(counts)``.  Returns the
+    int64 page id at each position: head positions are a direct gather,
+    tail positions locate their run by binary search over ``offsets``
+    -- O(len(positions)), never expanding the stream.  Positions
+    outside ``[0, head.size + offsets[-1])`` raise ``IndexError``
+    (matching a fancy-index gather on the expanded stream).
+
+    ``sorted_positions`` is a caller promise that ``positions`` is
+    ascending (true for skip-sampled and strided position streams); the
+    backend may then split head from tail positions with slices instead
+    of boolean masks.  Passing it for unsorted positions is undefined.
+    """
+    return _ensure().run_pages_at(
+        head, starts, counts, offsets, positions, sorted_positions
+    )
+
+
+def strided_run_pages(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    stride: int,
+    num_accesses: int,
+) -> np.ndarray:
+    """Pages at positions ``0, stride, 2*stride, ...`` of a compressed
+    batch -- bit-identical to ``expanded_page_ids[::stride]`` (as int64)
+    at O(samples + runs) cost.  Feeds the recency policies' strided
+    touched-set walks (AutoNUMA MGLRU / TPP reference-bit sampling).
+    """
+    return _ensure().strided_run_pages(
+        head, starts, counts, offsets, stride, num_accesses
+    )
+
+
+def weighted_page_counts(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Accumulate a per-page access histogram of a compressed batch.
+
+    The compressed form *is* a weighted histogram: each head page
+    contributes 1 and each run contributes 1 to every page it covers.
+    Adds those counts into ``out`` (int64, one slot per page) via a
+    head bincount plus a difference-domain run sweep -- O(runs + pages)
+    instead of O(accesses), equivalent to ``np.add.at(out, page_ids,
+    1)`` on the expanded stream.  Pages outside ``[0, out.size)`` raise
+    ``IndexError``.
+    """
+    _ensure().weighted_page_counts(head, starts, counts, out)
+
+
+def hint_faults(
+    unmap_time: np.ndarray,
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hint-fault detection over a run-compressed batch.
+
+    Returns ``(faulted_pages, unmap_times)``: the first access in
+    program order to each page whose ``unmap_time`` entry is >= 0, and
+    that entry's value -- then clears those entries in place (the PTE
+    restore), so a page faults at most once per batch.  Bit-identical
+    (order included) to first-occurrence detection on the expanded
+    stream; out-of-range pages are skipped, matching the scanner's
+    in-range filter.  Cost is O(runs log U + faults) with U the
+    currently-unmapped set, not O(accesses).
+    """
+    return _ensure().hint_faults(unmap_time, head, starts, counts)

@@ -132,6 +132,166 @@ def compressed_placement_counts(
 
 
 # ---------------------------------------------------------------------------
+# run-compressed batch kernels
+# ---------------------------------------------------------------------------
+
+
+@njit(cache=True)
+def _run_pages_at(head, starts, counts, offsets, positions, n_total, out):
+    n_head = head.size
+    for i in range(positions.size):
+        p = positions[i]
+        if p < 0 or p >= n_total:
+            return i
+        if p < n_head:
+            out[i] = head[p]
+        else:
+            tail = p - n_head
+            # searchsorted side="right": first run whose cumulative end
+            # strictly exceeds tail.
+            lo, hi = 0, offsets.size
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if offsets[mid] <= tail:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            out[i] = starts[lo] + tail - (offsets[lo] - counts[lo])
+    return -1
+
+
+def run_pages_at(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    positions: np.ndarray,
+    sorted_positions: bool = False,
+) -> np.ndarray:
+    # The compiled loop is already per-element; the sortedness promise
+    # buys nothing here, but the flag keeps backend signatures aligned.
+    del sorted_positions
+    n_total = head.size + (int(offsets[-1]) if offsets.size else 0)
+    out = np.empty(positions.size, dtype=np.int64)
+    bad = _run_pages_at(
+        head, starts, counts, offsets, positions, np.int64(n_total), out
+    )
+    if bad >= 0:
+        raise IndexError(f"sample positions out of range [0, {n_total})")
+    return out
+
+
+@njit(cache=True)
+def _strided_run_pages(head, starts, counts, offsets, stride, n, out):
+    k = 0
+    pos = 0
+    n_head = head.size
+    while pos < n and pos < n_head:
+        out[k] = head[pos]
+        k += 1
+        pos += stride
+    run = 0
+    while pos < n:
+        tail = pos - n_head
+        while offsets[run] <= tail:  # positions ascend: run only advances
+            run += 1
+        out[k] = starts[run] + tail - (offsets[run] - counts[run])
+        k += 1
+        pos += stride
+    return k
+
+
+def strided_run_pages(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    stride: int,
+    num_accesses: int,
+) -> np.ndarray:
+    out = np.empty(-(-num_accesses // stride) if num_accesses else 0, dtype=np.int64)
+    k = _strided_run_pages(
+        head, starts, counts, offsets, np.int64(stride), np.int64(num_accesses), out
+    )
+    return out[:k]
+
+
+@njit(cache=True)
+def _weighted_page_counts(head, starts, counts, out):
+    n = out.size
+    for i in range(head.size):
+        h = head[i]
+        if h < 0 or h >= n:
+            return i
+        out[h] += 1
+    for r in range(starts.size):
+        s = starts[r]
+        e = s + counts[r]
+        if s < 0 or e > n or e < s:
+            return head.size + r
+        for p in range(s, e):
+            out[p] += 1
+    return -1
+
+
+def weighted_page_counts(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    bad = _weighted_page_counts(head, starts, counts, out)
+    if bad >= 0:
+        raise IndexError(f"access {bad} out of range [0, {out.size})")
+
+
+@njit(cache=True)
+def _hint_faults(unmap_time, head, starts, counts, pages, times):
+    total = unmap_time.size
+    k = 0
+    for i in range(head.size):
+        h = head[i]
+        if h < 0 or h >= total:
+            continue
+        t = unmap_time[h]
+        if t >= 0.0:
+            pages[k] = h
+            times[k] = t
+            unmap_time[h] = -1.0
+            k += 1
+    for r in range(starts.size):
+        s = starts[r]
+        e = s + counts[r]
+        if s < 0:
+            s = 0
+        if e > total:
+            e = total
+        for p in range(s, e):
+            t = unmap_time[p]
+            if t >= 0.0:
+                pages[k] = p
+                times[k] = t
+                unmap_time[p] = -1.0
+                k += 1
+    return k
+
+
+def hint_faults(
+    unmap_time: np.ndarray,
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    # A page faults at most once, so the unmapped-entry count bounds
+    # the output; clearing entries as they fault dedupes in one pass.
+    cap = int(np.count_nonzero(unmap_time >= 0.0))
+    pages = np.empty(cap, dtype=np.int64)
+    times = np.empty(cap, dtype=np.float64)
+    k = _hint_faults(unmap_time, head, starts, counts, pages, times)
+    return pages[:k], times[:k]
+
+
+# ---------------------------------------------------------------------------
 # hashing
 # ---------------------------------------------------------------------------
 

@@ -76,6 +76,141 @@ def compressed_placement_counts(
 
 
 # ---------------------------------------------------------------------------
+# run-compressed batch kernels (position gather, strided subsample,
+# weighted per-page counts, hint-fault detection)
+# ---------------------------------------------------------------------------
+
+
+def run_pages_at(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    positions: np.ndarray,
+    sorted_positions: bool = False,
+) -> np.ndarray:
+    n_head = head.size
+    n_total = n_head + (int(offsets[-1]) if offsets.size else 0)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if sorted_positions:
+        lo, hi = int(positions[0]), int(positions[-1])
+    else:
+        lo, hi = int(positions.min()), int(positions.max())
+    if lo < 0 or hi >= n_total:
+        raise IndexError(
+            f"sample positions out of range [0, {n_total})"
+        )
+    out = np.empty(positions.size, dtype=np.int64)
+    if sorted_positions:
+        # Ascending positions split at n_head: slices replace the
+        # boolean masks and fancy gathers of the general path.
+        split = int(np.searchsorted(positions, n_head))
+        out[:split] = head[positions[:split]]
+        tail = positions[split:] - n_head
+        if tail.size:
+            run = np.searchsorted(offsets, tail, side="right")
+            out[split:] = starts[run] + tail - (offsets[run] - counts[run])
+        return out
+    in_head = positions < n_head
+    if in_head.any():
+        out[in_head] = head[positions[in_head]]
+    tail = positions[~in_head] - n_head
+    if tail.size:
+        run = np.searchsorted(offsets, tail, side="right")
+        out[~in_head] = starts[run] + tail - (offsets[run] - counts[run])
+    return out
+
+
+def strided_run_pages(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    stride: int,
+    num_accesses: int,
+) -> np.ndarray:
+    positions = np.arange(0, num_accesses, stride, dtype=np.int64)
+    return run_pages_at(
+        head, starts, counts, offsets, positions, sorted_positions=True
+    )
+
+
+def weighted_page_counts(
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    n = out.size
+    if head.size:
+        if int(head.min()) < 0 or int(head.max()) >= n:
+            raise IndexError(f"head pages out of range [0, {n})")
+        out += np.bincount(head, minlength=n).astype(np.int64)
+    if starts.size:
+        ends = starts + counts
+        if int(starts.min()) < 0 or int(ends.max()) > n:
+            raise IndexError(f"run pages out of range [0, {n})")
+        # Difference-domain histogram: +1 at each run start, -1 one
+        # past its end, cumulative sum yields per-page coverage counts.
+        delta = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(delta, starts, 1)
+        np.add.at(delta, ends, -1)
+        out += np.cumsum(delta[:n])
+
+
+def hint_faults(
+    unmap_time: np.ndarray,
+    head: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    total = unmap_time.size
+    parts: list[np.ndarray] = []
+    mask = unmap_time >= 0.0
+    if head.size:
+        h = head[(head >= 0) & (head < total)]
+        if h.size:
+            h = h[mask[h]]
+            if h.size:
+                parts.append(h.astype(np.int64, copy=False))
+    if starts.size:
+        # Candidate pages are the currently-unmapped ones each run
+        # covers.  A prefix sum of the unmapped mask gives each page's
+        # rank in the sorted unmapped set, so both run boundaries
+        # become O(1) gathers (uprefix[p] = #unmapped pages below p);
+        # expanding the resulting rank runs is then O(hits).  Clipping
+        # run ends to [0, total] drops out-of-range pages, exactly as
+        # a binary search against the unmapped set would.
+        uprefix = np.empty(total + 1, dtype=np.int64)
+        uprefix[0] = 0
+        np.cumsum(mask, dtype=np.int64, out=uprefix[1:])
+        if uprefix[total]:
+            lo = uprefix[np.clip(starts, 0, total)]
+            hi = uprefix[np.clip(starts + counts, 0, total)]
+            seg_counts = hi - lo
+            m = int(seg_counts.sum())
+            if m:
+                unmapped = np.nonzero(mask)[0]
+                idx = np.empty(m, dtype=np.int64)
+                expand_runs(lo, seg_counts, idx)
+                parts.append(unmapped[idx])
+    if not parts:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    # First occurrence of each page in program order (head precedes the
+    # runs; within a run ascending page order is program order).
+    first_idx = np.unique(cand, return_index=True)[1]
+    faulted = cand[np.sort(first_idx)]
+    times = unmap_time[faulted].copy()
+    unmap_time[faulted] = -1.0  # PTE restored by the fault
+    return faulted, times
+
+
+# ---------------------------------------------------------------------------
 # hashing
 # ---------------------------------------------------------------------------
 

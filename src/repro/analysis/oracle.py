@@ -16,16 +16,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import accel
 from repro.sampling.events import AccessBatch
 
 
 def page_access_counts(
     batches: list[AccessBatch], footprint_pages: int
 ) -> np.ndarray:
-    """True per-page access counts over a recorded stream."""
+    """True per-page access counts over a recorded stream.
+
+    Run-compressed batches are histogrammed directly from their runs
+    (``weighted_page_counts``: a head bincount plus a difference-domain
+    run sweep) -- O(runs + pages) per batch instead of O(accesses), and
+    the expanded stream is never materialized.
+    """
     counts = np.zeros(footprint_pages, dtype=np.int64)
     for batch in batches:
-        np.add.at(counts, batch.page_ids, 1)
+        if batch.run_starts is not None:
+            accel.weighted_page_counts(
+                batch.head_page_ids, batch.run_starts, batch.run_counts, counts
+            )
+        else:
+            np.add.at(counts, batch.page_ids, 1)
     return counts
 
 

@@ -10,6 +10,12 @@ footprint, 110x FreqTier's CBF.  This module provides that tracker:
 Memory accounting uses the modeled per-entry cost (default HeMem's
 168 bytes/page), not Python's actual overhead, so the paper's
 Section VII-C comparison is reproducible.
+
+The store is a dense counter array indexed by key (keys are page ids
+in every consumer), with a dict spill for keys past the dense cap, so
+bulk updates and lookups are vectorized instead of one dict operation
+per sample.  Only keys with a non-zero count exist as entries; the
+modeled footprint and :meth:`age` drop semantics are unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +24,11 @@ import numpy as np
 
 #: Per-page metadata HeMem maintains (paper Section VII-C).
 HEMEM_BYTES_PER_PAGE = 168
+
+#: Largest key held in the dense array (32 MB of int64 counters).
+#: Keys at or above this spill to a dict -- correctness is identical,
+#: only the (never-exercised-in-practice) speed differs.
+_DENSE_KEY_LIMIT = 1 << 22
 
 
 class ExactFrequencyTracker:
@@ -33,7 +44,8 @@ class ExactFrequencyTracker:
         bytes_per_entry: int = HEMEM_BYTES_PER_PAGE,
         max_count: int | None = None,
     ):
-        self._counts: dict[int, int] = {}
+        self._dense = np.zeros(0, dtype=np.int64)
+        self._spill: dict[int, int] = {}
         self.bytes_per_entry = int(bytes_per_entry)
         self.max_count = max_count
 
@@ -41,25 +53,42 @@ class ExactFrequencyTracker:
 
     @property
     def num_entries(self) -> int:
-        return len(self._counts)
+        return int(np.count_nonzero(self._dense)) + len(self._spill)
 
     @property
     def nbytes(self) -> int:
         """Modeled metadata footprint (entries x per-entry bytes)."""
-        return len(self._counts) * self.bytes_per_entry
+        return self.num_entries * self.bytes_per_entry
+
+    def _grow_dense(self, max_key: int) -> None:
+        if max_key < self._dense.size:
+            return
+        grown = np.zeros(
+            min(max(max_key + 1, 2 * self._dense.size), _DENSE_KEY_LIMIT),
+            dtype=np.int64,
+        )
+        grown[: self._dense.size] = self._dense
+        self._dense = grown
 
     # -- queries -----------------------------------------------------------
 
     def get(self, keys: np.ndarray | int) -> np.ndarray | int:
         """Exact recorded frequency per key (0 if never seen)."""
         if np.isscalar(keys):
-            return self._counts.get(int(keys), 0)
+            key = int(keys)
+            if key < self._dense.size:
+                return int(self._dense[key])
+            return self._spill.get(key, 0)
         arr = np.asarray(keys, dtype=np.uint64)
-        return np.fromiter(
-            (self._counts.get(int(key), 0) for key in arr),
-            dtype=np.int64,
-            count=len(arr),
-        )
+        if arr.size and int(arr.max()) < self._dense.size:
+            return self._dense[arr]
+        out = np.zeros(arr.size, dtype=np.int64)
+        in_dense = arr < self._dense.size
+        out[in_dense] = self._dense[arr[in_dense]]
+        if self._spill:
+            for i in np.nonzero(arr >= _DENSE_KEY_LIMIT)[0]:
+                out[i] = self._spill.get(int(arr[i]), 0)
+        return out
 
     # -- updates -------------------------------------------------------------
 
@@ -69,52 +98,120 @@ class ExactFrequencyTracker:
         return self.increase(arr, np.ones(len(arr), dtype=np.int64))
 
     def increase(self, keys: np.ndarray, amounts: np.ndarray | int) -> np.ndarray:
-        """Add ``amounts[i]`` accesses to key ``i``; returns new counts."""
+        """Add ``amounts[i]`` accesses to key ``i``; returns new counts.
+
+        Duplicate keys accumulate sequentially, each occurrence seeing
+        the running total so far -- exactly one hash-table update per
+        sample, as HeMem performs it, but computed for the whole batch
+        with a stable sort and segmented running sums.
+        """
         arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         amt = np.broadcast_to(np.asarray(amounts, dtype=np.int64), arr.shape)
-        out = np.empty(len(arr), dtype=np.int64)
+        n = arr.size
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        if np.any(amt < 0) or bool(np.any(arr >= _DENSE_KEY_LIMIT)):
+            # Negative deltas make the per-step cap order-sensitive, and
+            # spill keys live in the dict: take the one-at-a-time path.
+            self._increase_loop(arr, amt, out)
+            return out
+        self._grow_dense(int(arr.max()))
+        if n <= (1 << 40):
+            # Keys are < 2**22 on this path, so ``key*n + position``
+            # fits uint64 and is unique per element; quicksorting the
+            # composite reproduces the stable key order several times
+            # cheaper than a stable argsort of the keys.
+            comp = arr * np.uint64(n) + np.arange(n, dtype=np.uint64)
+            comp.sort()
+            order = (comp % np.uint64(n)).astype(np.int64)
+            sk = comp // np.uint64(n)
+        else:
+            order = np.argsort(arr, kind="stable")
+            sk = arr[order]
+        sa = amt[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=new_group[1:])
+        group_id = np.cumsum(new_group) - 1
+        csum = np.cumsum(sa)
+        # Running totals restarted at each group: subtract the stream
+        # cumsum just before the group start, then add the stored base.
+        start_offset = (csum - sa)[new_group]
+        uniq = sk[new_group]
+        running = csum - start_offset[group_id] + self._dense[uniq][group_id]
+        if self.max_count is not None:
+            # Amounts are non-negative here, so running totals are
+            # monotone within a group and the per-step cap reduces to
+            # an elementwise clamp.
+            np.minimum(running, self.max_count, out=running)
+        out[order] = running
+        group_last = np.empty(uniq.size, dtype=np.int64)
+        group_last[:-1] = np.nonzero(new_group)[0][1:] - 1
+        group_last[-1] = n - 1
+        self._dense[uniq] = running[group_last]
+        return out
+
+    def _increase_loop(self, arr: np.ndarray, amt: np.ndarray, out: np.ndarray) -> None:
         for i, (key, a) in enumerate(zip(arr, amt)):
-            new = self._counts.get(int(key), 0) + int(a)
+            key = int(key)
+            new = self.get(key) + int(a)
             if self.max_count is not None:
                 new = min(new, self.max_count)
-            self._counts[int(key)] = new
+            if key < _DENSE_KEY_LIMIT:
+                self._grow_dense(key)
+                self._dense[key] = new
+            else:
+                self._spill[key] = new
             out[i] = new
-        return out
 
     def age(self) -> None:
         """Halve all counts, dropping entries that reach zero."""
-        self._counts = {
-            key: half for key, count in self._counts.items() if (half := count // 2)
+        np.floor_divide(self._dense, 2, out=self._dense)
+        self._spill = {
+            key: half for key, count in self._spill.items() if (half := count // 2)
         }
 
     def clear(self) -> None:
-        self._counts.clear()
+        self._dense[:] = 0
+        self._spill.clear()
 
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> dict:
         """Counts as sorted ``[page, count]`` pairs (JSON has no int keys)."""
-        return {
-            "counts": [
-                [int(page), int(count)]
-                for page, count in sorted(self._counts.items())
-            ]
-        }
+        pages = np.nonzero(self._dense)[0]
+        pairs = [[int(page), int(self._dense[page])] for page in pages]
+        # Spill keys all exceed dense indices, so sorted order is just
+        # the concatenation.
+        pairs.extend([k, v] for k, v in sorted(self._spill.items()))
+        return {"counts": pairs}
 
     def load_state(self, state: dict) -> None:
-        self._counts = {
-            int(page): int(count) for page, count in state["counts"]
-        }
+        self._dense[:] = 0
+        self._spill.clear()
+        for page, count in state["counts"]:
+            page, count = int(page), int(count)
+            if page < _DENSE_KEY_LIMIT:
+                self._grow_dense(page)
+                self._dense[page] = count
+            else:
+                self._spill[page] = count
 
     # -- analysis -----------------------------------------------------------------
 
     def items(self):
         """Iterate ``(page, count)`` pairs (analysis/tests)."""
-        return self._counts.items()
+        for page in np.nonzero(self._dense)[0]:
+            yield int(page), int(self._dense[page])
+        yield from self._spill.items()
 
     def counter_histogram(self, max_value: int = 15) -> np.ndarray:
         """Histogram of counts clamped to ``max_value`` (Fig. 14 analogue)."""
-        hist = np.zeros(max_value + 1, dtype=np.int64)
-        for count in self._counts.values():
+        live = self._dense[self._dense > 0]
+        hist = np.bincount(
+            np.minimum(live, max_value), minlength=max_value + 1
+        )[: max_value + 1].astype(np.int64)
+        for count in self._spill.values():
             hist[min(count, max_value)] += 1
         return hist

@@ -540,7 +540,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 workload, None, config, label=f"{frac}-base", faults=faults
             )
         )
-    cell_results = executor.run(cells)
+    with _maybe_profile(args, "repro-sweep"):
+        cell_results = executor.run(cells)
     rows = []
     payload = {}
     num_failed = sum(isinstance(res, FailedCell) for res in cell_results)
@@ -692,6 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fractions",
         default="0.03,0.06,0.12,0.24",
         help="comma-separated local fractions",
+    )
+    p_sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile this process (cells run here only with --jobs 1); "
+        "pstats dump lands at ./repro-sweep.pstats",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 

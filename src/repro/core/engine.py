@@ -341,6 +341,11 @@ class SimulationEngine:
             self.now_ns += cost.total_ns
             self.accesses_done += batch.num_accesses
             self.batches_done += 1
+            if batch.run_starts is not None:
+                # Generators may keep a reference to the batch they
+                # yielded; dropping any cached expansion here keeps a
+                # fast-path run's live memory at the compressed size.
+                batch.release_expanded()
 
             if ckpt_every and self.batches_done % ckpt_every == 0:
                 self._save_checkpoint()

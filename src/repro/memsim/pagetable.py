@@ -105,7 +105,9 @@ class PageTable:
     def pages_in_tier(self, tier: int) -> np.ndarray:
         """All page ids currently placed on ``tier``."""
         self._validate_tier(tier)
-        return np.nonzero(self._placement == tier)[0].astype(np.int64)
+        return np.nonzero(self._placement == tier)[0].astype(
+            np.int64, copy=False
+        )
 
     def count_in_tier(self, tier: int) -> int:
         self._validate_tier(tier)

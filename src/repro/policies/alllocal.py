@@ -19,6 +19,9 @@ class AllLocal(TieringPolicy):
     """No-op policy for the all-in-local-DRAM upper bound."""
 
     name = "AllLocal"
+    #: No-op hook: never reads the stream, so compressed batches need
+    #: no expansion at all.
+    needs_access_stream = False
 
     def attach(self, machine: Machine) -> None:
         super().attach(machine)
@@ -30,7 +33,7 @@ class AllLocal(TieringPolicy):
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:

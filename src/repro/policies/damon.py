@@ -33,6 +33,10 @@ class DAMONRegion(TieringPolicy):
     """Adaptive-region access monitoring and wholesale region migration."""
 
     name = "DAMON"
+    #: PEBS samples by access position, so run-compressed batches are
+    #: sampled via ``pages_at`` without expansion.  Bit-identical: the
+    #: RNG draws depend only on the access count and sampling period.
+    needs_access_stream = False
 
     def __init__(
         self,
@@ -116,7 +120,7 @@ class DAMONRegion(TieringPolicy):
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:
@@ -127,7 +131,9 @@ class DAMONRegion(TieringPolicy):
         )
         overhead = 0.0
         before = self.pebs.total_samples
-        self.pebs.observe(batch, tiers)
+        self.pebs.observe(
+            batch, tiers, placement=self.machine.page_table.placement_view()
+        )
         overhead += self.pebs.overhead_ns(self.pebs.total_samples - before)
 
         self._accesses_since_adjust += batch.num_accesses
@@ -214,6 +220,35 @@ class DAMONRegion(TieringPolicy):
             if self.num_regions <= self.min_regions:
                 break
 
+    def _region_tier_counts(self, tier: int) -> np.ndarray:
+        """Pages of each region currently placed on ``tier``.
+
+        One prefix sum over the placement array replaces a per-region
+        gather: region ``i`` holds ``prefix[hi] - prefix[lo]`` such
+        pages.  The migration loops use this to skip regions with
+        nothing to move, which is where almost all their iterations
+        land once the local tier is full.
+        """
+        assert self._bounds is not None
+        view = self.machine.page_table.placement_view()
+        prefix = np.empty(view.size + 1, dtype=np.int64)
+        prefix[0] = 0
+        np.cumsum(view == tier, dtype=np.int64, out=prefix[1:])
+        bounds = np.minimum(self._bounds, view.size)
+        return prefix[bounds[1:]] - prefix[bounds[:-1]]
+
+    def _region_pages_in_tier(self, i: int, tier: int) -> np.ndarray:
+        """Page ids of region ``i`` on ``tier`` (ascending).
+
+        Regions are contiguous, so this is a zero-copy slice of the
+        placement array -- no index re-validation and no materialized
+        ``arange`` for pages that are then masked away.
+        """
+        assert self._bounds is not None
+        lo, hi = int(self._bounds[i]), int(self._bounds[i + 1])
+        view = self.machine.page_table.placement_view()
+        return np.nonzero(view[lo:hi] == tier)[0] + lo
+
     def _migrate_by_density(self) -> float:
         """Promote hottest regions, demote coldest, wholesale."""
         assert self._bounds is not None
@@ -224,17 +259,22 @@ class DAMONRegion(TieringPolicy):
         budget = machine.config.local_capacity_pages // 4
 
         promoted_total = 0
+        cxl_counts = self._region_tier_counts(CXL_TIER)
         for i in order:
             if promoted_total >= budget or density[i] <= 0:
                 break
-            pages = np.arange(self._bounds[i], self._bounds[i + 1])
-            pages = pages[machine.placement_of(pages) == CXL_TIER]
+            if cxl_counts[i] == 0:
+                continue
+            pages = self._region_pages_in_tier(int(i), CXL_TIER)
             if pages.size == 0:
                 continue
             if machine.local_free_pages < pages.size:
                 overhead += self._demote_coldest(
                     int(pages.size) - machine.local_free_pages, density
                 )
+                # Demotions push pages of colder regions into CXL, so
+                # the skip counts must be rebuilt to stay exact.
+                cxl_counts = self._region_tier_counts(CXL_TIER)
             moved = self._promote_pages(
                 pages[: machine.local_free_pages]
             ).num_moved
@@ -245,14 +285,17 @@ class DAMONRegion(TieringPolicy):
 
     def _demote_coldest(self, num_pages: int, density: np.ndarray) -> float:
         assert self._bounds is not None
-        machine = self.machine
         overhead = 0.0
         demoted_total = 0
+        # Demoting region i only drains region i's own local pages, so
+        # one snapshot of the counts stays exact across the loop.
+        local_counts = self._region_tier_counts(LOCAL_TIER)
         for i in np.argsort(density):
             if demoted_total >= num_pages:
                 break
-            pages = np.arange(self._bounds[i], self._bounds[i + 1])
-            pages = pages[machine.placement_of(pages) == LOCAL_TIER]
+            if local_counts[i] == 0:
+                continue
+            pages = self._region_pages_in_tier(int(i), LOCAL_TIER)
             if pages.size == 0:
                 continue
             moved = self._demote_pages(

@@ -33,6 +33,10 @@ class HeMem(TieringPolicy):
     """Exact per-page frequency tiering with heavyweight metadata."""
 
     name = "HeMem"
+    #: PEBS samples by access position, so run-compressed batches are
+    #: sampled via ``pages_at`` without expansion.  Bit-identical: the
+    #: RNG draws depend only on the access count and sampling period.
+    needs_access_stream = False
 
     def __init__(
         self,
@@ -117,14 +121,16 @@ class HeMem(TieringPolicy):
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:
         assert self.pebs is not None
         overhead = 0.0
         before = self.pebs.total_samples
-        self.pebs.observe(batch, tiers)
+        self.pebs.observe(
+            batch, tiers, placement=self.machine.page_table.placement_view()
+        )
         overhead += self.pebs.overhead_ns(self.pebs.total_samples - before)
         if self.pebs.pending_samples >= self.sample_batch_size:
             overhead += self._process_samples()

@@ -18,11 +18,14 @@ class StaticNoMigration(TieringPolicy):
     """No-op policy over the default first-touch placement."""
 
     name = "Static"
+    #: No-op hook: never reads the stream, so compressed batches need
+    #: no expansion at all.
+    needs_access_stream = False
 
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:

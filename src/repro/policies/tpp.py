@@ -30,6 +30,10 @@ class TPP(TieringPolicy):
     """Hint faults + active-LRU promotion, plain-LRU demotion."""
 
     name = "TPP"
+    #: Hint faults and reference-bit sampling both run directly on
+    #: run-compressed batches (``hint_faults`` / ``strided_pages``), so
+    #: the engine may skip stream expansion.  Bit-identical either way.
+    needs_access_stream = False
 
     def __init__(
         self,
@@ -120,7 +124,7 @@ class TPP(TieringPolicy):
     def on_batch(
         self,
         batch: AccessBatch,
-        tiers: np.ndarray,
+        tiers: np.ndarray | None,
         now_ns: float,
         counts: tuple[int, int] | None = None,
     ) -> float:
@@ -128,9 +132,13 @@ class TPP(TieringPolicy):
         overhead = 0.0
 
         # Faults first: activation is judged against recency recorded
-        # in *earlier* quanta, not this batch's own touches.
+        # in *earlier* quanta, not this batch's own touches.  ``tiers
+        # is None`` = the engine's compressed fast path; the scanner
+        # and LRU sampling then stay on the compressed form too.
         assert self._last_ref_ns is not None and self._lru_snapshot is not None
-        faults = self.scanner.observe(batch, now_ns)
+        faults = self.scanner.observe(
+            batch, now_ns, prefer_expanded=tiers is not None
+        )
         if faults.count:
             overhead += self.scanner.overhead_ns(faults.count)
             # Promote iff the faulted page is on the active LRU list,
@@ -146,7 +154,10 @@ class TPP(TieringPolicy):
             overhead += self._promote_active(faults.page_ids[active])
 
         # Reference-bit LRU sampling (coarser than AutoNUMA's MGLRU).
-        touched = np.unique(batch.page_ids[:: self.lru_sample_stride])
+        if tiers is None:
+            touched = np.unique(batch.strided_pages(self.lru_sample_stride))
+        else:
+            touched = np.unique(batch.page_ids[:: self.lru_sample_stride])
         if touched.size:
             self._last_ref_ns[touched] = now_ns
             overhead += 2_000.0

@@ -138,33 +138,60 @@ class AccessBatch:
             self._run_offsets = np.cumsum(self.run_counts)
         return self._run_offsets
 
-    def pages_at(self, positions: np.ndarray) -> np.ndarray:
+    def pages_at(
+        self, positions: np.ndarray, *, assume_sorted: bool = False
+    ) -> np.ndarray:
         """Page ids at the given access positions (program order).
 
         O(len(positions)) on compressed batches: head positions are a
         direct gather, tail positions map onto their run by binary
-        search over the run-length prefix.  Plain gather otherwise.
-        Used by position-based samplers so sampling a handful of
-        accesses never forces stream materialization.
+        search over the run-length prefix (the ``run_pages_at``
+        kernel).  Plain gather otherwise.  Used by position-based
+        samplers so sampling a handful of accesses never forces stream
+        materialization.  ``assume_sorted`` promises the positions are
+        ascending (skip samplers emit them that way), unlocking a
+        slice-based gather; do not pass it for unordered positions.
         """
         if self._page_ids is not None:
             return self._page_ids[positions]
-        positions = np.asarray(positions, dtype=np.int64)
-        head = self.head_page_ids
-        out = np.empty(positions.size, dtype=np.int64)
-        in_head = positions < head.size
-        if in_head.any():
-            out[in_head] = head[positions[in_head]]
-        tail = positions[~in_head] - head.size
-        if tail.size:
-            offsets = self._offsets()
-            run = np.searchsorted(offsets, tail, side="right")
-            out[~in_head] = (
-                self.run_starts[run]
-                + tail
-                - (offsets[run] - self.run_counts[run])
-            )
-        return out
+        return accel.run_pages_at(
+            self.head_page_ids,
+            self.run_starts,
+            self.run_counts,
+            self._offsets(),
+            np.asarray(positions, dtype=np.int64),
+            assume_sorted,
+        )
+
+    def strided_pages(self, stride: int) -> np.ndarray:
+        """Pages at positions ``0, stride, 2*stride, ...``.
+
+        Equals ``page_ids[::stride]`` (widened to int64) but costs
+        O(samples + runs) on compressed batches -- the recency
+        policies' touched-set walks use it so their accessed-bit
+        subsampling never expands the stream.
+        """
+        if self.run_starts is None:
+            return self.page_ids[::stride]
+        return accel.strided_run_pages(
+            self.head_page_ids,
+            self.run_starts,
+            self.run_counts,
+            self._offsets(),
+            int(stride),
+            self._num_accesses,
+        )
+
+    def release_expanded(self) -> None:
+        """Drop a compressed batch's cached ``page_ids`` expansion.
+
+        The engine calls this after each serviced batch: workload
+        generators keep a reference to the batch they yielded, so a
+        cached expansion would otherwise stay reachable for the rest
+        of the run.  Recomputed (bit-identically) on next touch.
+        """
+        if self.head_page_ids is not None:
+            self._page_ids = None
 
 
 @dataclass

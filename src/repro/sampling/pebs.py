@@ -198,7 +198,8 @@ class PEBSSampler:
         if tiers is None:
             if placement is None:
                 raise ValueError("observe() needs tiers or placement")
-            sampled_pages = batch.pages_at(positions)
+            # Gap sampling emits strictly ascending positions.
+            sampled_pages = batch.pages_at(positions, assume_sorted=True)
             sampled_tiers = placement[sampled_pages]
         else:
             sampled_pages = batch.page_ids[positions]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import accel
 from repro.sampling.events import AccessBatch
 
 #: Modeled CPU cost of one minor (hint) page fault.
@@ -98,15 +99,41 @@ class HintFaultScanner:
 
     # -- fault detection --------------------------------------------------------
 
-    def observe(self, batch: AccessBatch, now_ns: float) -> HintFault:
+    def observe(
+        self,
+        batch: AccessBatch,
+        now_ns: float,
+        prefer_expanded: bool = False,
+    ) -> HintFault:
         """Detect hint faults in an access batch and re-map faulted pages.
 
         Each unmapped page faults at most once per unmap (its first
         access in the batch); subsequent accesses in the same batch see
         the restored PTE -- the frequency-information loss of Fig. 3.
+
+        Run-compressed batches are scanned without expansion via the
+        ``hint_faults`` kernel -- bit-identical faults, in the same
+        first-occurrence program order, at O(runs log U) cost.  Pass
+        ``prefer_expanded=True`` to force the expanded reference path
+        (the policies do when the engine already materialized the
+        stream).
         """
         if batch.num_accesses == 0:
             return HintFault.empty()
+        if batch.run_starts is not None and not prefer_expanded:
+            faulted, unmap_times = accel.hint_faults(
+                self._unmap_time,
+                batch.head_page_ids,
+                batch.run_starts,
+                batch.run_counts,
+            )
+            if faulted.size == 0:
+                return HintFault.empty()
+            self.faults_taken += int(faulted.size)
+            latencies = now_ns - unmap_times
+            return HintFault(
+                page_ids=faulted, latencies_ns=np.maximum(latencies, 0.0)
+            )
         pages = batch.page_ids
         in_range = pages[(pages >= 0) & (pages < self.total_pages)]
         if in_range.size == 0:

@@ -2,9 +2,11 @@
 
 Two layers of evidence:
 
-- **Always on:** the engine's run-compressed counting path (prefix sum,
-  no stream expansion) must match the expanded-stream path bit-for-bit
-  for a policy that opts out of stream materialization.
+- **Always on:** the engine's run-compressed fast path (prefix-sum
+  counting, position-sampled observers, compressed hint faults -- no
+  stream expansion anywhere) must match the expanded-stream path
+  bit-for-bit for every policy that opts out of stream
+  materialization, which is all of them.
 - **With numba installed:** full experiment cells -- 8 policies x 3
   seeds -- must produce byte-identical results under the compiled
   backend and the NumPy reference (``tests/accel/test_numba_equivalence``
@@ -17,11 +19,10 @@ import dataclasses
 
 import pytest
 
-from repro import accel
+from repro import accel, policies
 from repro.core.config import ExperimentConfig
 from repro.core.parallel import PolicySpec, WorkloadSpec
 from repro.core.runner import run_experiment
-from repro.policies.freqtier.policy import FreqTier
 
 WORKLOAD = WorkloadSpec("cdn", slab_pages=2_048, ops_per_batch=2_000, seed=7)
 CONFIG = ExperimentConfig(
@@ -40,19 +41,47 @@ POLICIES = (
 )
 SEEDS = (1, 2, 3)
 
+#: Registry name -> class whose ``needs_access_stream`` flag forces the
+#: expanded reference path when monkeypatched to True.
+POLICY_CLASSES = {
+    "freqtier": policies.FreqTier,
+    "hybridtier": policies.HybridTier,
+    "autonuma": policies.AutoNUMA,
+    "tpp": policies.TPP,
+    "multiclock": policies.MultiClock,
+    "hemem": policies.HeMem,
+    "damon": policies.DAMONRegion,
+    "static": policies.StaticNoMigration,
+    "alllocal": policies.AllLocal,
+}
+
 
 def _as_dict(result):
     return dataclasses.asdict(result)
 
 
-def test_compressed_path_matches_expanded_path(monkeypatch):
-    """FreqTier via the prefix-sum path == FreqTier via tier gather."""
-    compressed = run_experiment(WORKLOAD, PolicySpec("freqtier", seed=1), CONFIG)
-    # Forcing needs_access_stream=True makes the engine materialize the
-    # stream and gather per-access tiers; everything downstream (counts,
-    # sampling, migrations, costs) must be unaffected.
-    monkeypatch.setattr(FreqTier, "needs_access_stream", True)
-    expanded = run_experiment(WORKLOAD, PolicySpec("freqtier", seed=1), CONFIG)
+def test_every_policy_opts_out_of_stream_materialization():
+    """The whole registry runs compressed batches without expansion."""
+    for name, cls in POLICY_CLASSES.items():
+        assert cls.needs_access_stream is False, name
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", sorted(POLICY_CLASSES))
+def test_compressed_path_matches_expanded_path(policy, seed, monkeypatch):
+    """Compressed fast path == expanded reference path, per policy.
+
+    The compressed run exercises prefix-sum tier counting plus the
+    policy's compressed observers (``pages_at`` sampling, compressed
+    hint faults, strided touched sets); forcing
+    ``needs_access_stream=True`` makes the engine materialize the
+    stream and gather per-access tiers, sending every observer down its
+    expanded reference path.  Everything downstream (counts, sampling,
+    migrations, costs) must be unaffected.
+    """
+    compressed = run_experiment(WORKLOAD, PolicySpec(policy, seed=seed), CONFIG)
+    monkeypatch.setattr(POLICY_CLASSES[policy], "needs_access_stream", True)
+    expanded = run_experiment(WORKLOAD, PolicySpec(policy, seed=seed), CONFIG)
     assert _as_dict(compressed) == _as_dict(expanded)
 
 

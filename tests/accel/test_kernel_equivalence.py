@@ -251,3 +251,166 @@ def test_expand_runs_empty():
     empty = np.empty(0, dtype=np.int64)
     out = np.empty(0, dtype=np.int64)
     nb.expand_runs(empty, empty, out)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# run-compressed batch kernels (position gather, strided sample,
+# weighted histogram, hint faults)
+# ---------------------------------------------------------------------------
+
+
+def _compressed(rng, n_pages, n_head=150, n_runs=200, max_count=37):
+    head = rng.integers(0, n_pages, size=n_head, dtype=np.int64)
+    starts, counts = _random_runs(rng, n_pages, n_runs, max_count)
+    expanded = np.concatenate([head, _expand(starts, counts)])
+    return head, starts, counts, np.cumsum(counts), expanded
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_run_pages_at_matches_expanded_gather(seed):
+    rng = np.random.default_rng(seed)
+    head, starts, counts, offsets, expanded = _compressed(rng, n_pages=4096)
+    positions = rng.integers(0, expanded.size, size=500, dtype=np.int64)
+    got = nb.run_pages_at(head, starts, counts, offsets, positions)
+    np.testing.assert_array_equal(got, expanded[positions])
+    assert got.dtype == np.int64
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_run_pages_at_sorted_path_matches_general(seed):
+    """The sorted-positions promise changes cost, never output."""
+    rng = np.random.default_rng(seed)
+    head, starts, counts, offsets, expanded = _compressed(rng, n_pages=4096)
+    positions = np.sort(
+        rng.integers(0, expanded.size, size=500, dtype=np.int64)
+    )
+    got = nb.run_pages_at(
+        head, starts, counts, offsets, positions, sorted_positions=True
+    )
+    np.testing.assert_array_equal(got, expanded[positions])
+    np.testing.assert_array_equal(
+        got, nb.run_pages_at(head, starts, counts, offsets, positions)
+    )
+    for bad in (
+        np.array([-1], dtype=np.int64),
+        np.array([expanded.size], dtype=np.int64),
+    ):
+        with pytest.raises(IndexError):
+            nb.run_pages_at(
+                head, starts, counts, offsets, bad, sorted_positions=True
+            )
+
+
+def test_run_pages_at_boundaries():
+    """First/last head position, run joints, and the final access."""
+    head = np.array([9, 3], dtype=np.int64)
+    starts = np.array([100, 200], dtype=np.int64)
+    counts = np.array([3, 2], dtype=np.int64)
+    offsets = np.cumsum(counts)
+    positions = np.array([0, 1, 2, 4, 5, 6], dtype=np.int64)
+    got = nb.run_pages_at(head, starts, counts, offsets, positions)
+    np.testing.assert_array_equal(got, [9, 3, 100, 102, 200, 201])
+
+
+def test_run_pages_at_out_of_range_raises():
+    head = np.array([1], dtype=np.int64)
+    starts = np.array([5], dtype=np.int64)
+    counts = np.array([2], dtype=np.int64)
+    offsets = np.cumsum(counts)
+    for bad in (-1, 3):
+        with pytest.raises(IndexError):
+            nb.run_pages_at(
+                head, starts, counts, offsets,
+                np.array([bad], dtype=np.int64),
+            )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("stride", [1, 7, 16, 1000])
+def test_strided_run_pages_matches_expanded_slice(seed, stride):
+    rng = np.random.default_rng(seed)
+    head, starts, counts, offsets, expanded = _compressed(rng, n_pages=4096)
+    got = nb.strided_run_pages(
+        head, starts, counts, offsets, stride, expanded.size
+    )
+    np.testing.assert_array_equal(got, expanded[::stride])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_weighted_page_counts_matches_add_at(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    head, starts, counts, _, expanded = _compressed(rng, n_pages)
+    got = rng.integers(0, 5, size=n_pages).astype(np.int64)  # accumulates
+    expected = got.copy()
+    nb.weighted_page_counts(head, starts, counts, got)
+    np.add.at(expected, expanded, 1)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_weighted_page_counts_out_of_range_raises():
+    out = np.zeros(8, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    with pytest.raises(IndexError):
+        nb.weighted_page_counts(
+            np.array([8], dtype=np.int64), empty, empty, out
+        )
+    with pytest.raises(IndexError):
+        nb.weighted_page_counts(
+            empty,
+            np.array([6], dtype=np.int64),
+            np.array([5], dtype=np.int64),  # run [6, 11) exceeds 8 pages
+            out,
+        )
+
+
+def _reference_hint_faults(unmap_time, expanded):
+    """First-occurrence fault detection on the expanded stream."""
+    total = unmap_time.size
+    in_range = expanded[(expanded >= 0) & (expanded < total)]
+    if in_range.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    first_idx = np.unique(in_range, return_index=True)[1]
+    candidates = in_range[np.sort(first_idx)]
+    times = unmap_time[candidates]
+    mask = times >= 0.0
+    faulted = candidates[mask]
+    unmap_time[faulted] = -1.0
+    return faulted, times[mask]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_hint_faults_match_expanded_first_occurrence(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    head, starts, counts, _, expanded = _compressed(rng, n_pages)
+    unmap = np.where(
+        rng.random(n_pages) < 0.3, rng.random(n_pages) * 1e6, -1.0
+    )
+    ref_unmap = unmap.copy()
+    pages, times = nb.hint_faults(unmap, head, starts, counts)
+    exp_pages, exp_times = _reference_hint_faults(ref_unmap, expanded)
+    np.testing.assert_array_equal(pages, exp_pages)  # order included
+    np.testing.assert_array_equal(times, exp_times)
+    np.testing.assert_array_equal(unmap, ref_unmap)  # same PTE restores
+
+
+def test_hint_faults_skips_out_of_range_pages():
+    unmap = np.array([5.0, -1.0], dtype=np.float64)
+    pages, times = nb.hint_faults(
+        unmap,
+        np.array([7, 0, -3], dtype=np.int64),  # 7 and -3 out of range
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+    np.testing.assert_array_equal(pages, [0])
+    np.testing.assert_array_equal(times, [5.0])
+    assert unmap[0] == -1.0
+
+
+def test_hint_faults_empty_batch():
+    unmap = np.array([1.0], dtype=np.float64)
+    empty = np.empty(0, dtype=np.int64)
+    pages, times = nb.hint_faults(unmap, empty, empty, empty)
+    assert pages.size == 0 and times.size == 0
+    assert unmap[0] == 1.0

@@ -144,3 +144,86 @@ def test_expand_runs(seed):
     nb.expand_runs(starts, counts, out_nb)
     cb.expand_runs(starts, counts, out_cb)
     np.testing.assert_array_equal(out_cb, out_nb)
+
+
+def _compressed_batch(rng, n_pages):
+    head = rng.integers(0, n_pages, size=200, dtype=np.int64)
+    starts = rng.integers(0, n_pages - 40, size=300, dtype=np.int64)
+    counts = rng.integers(0, 41, size=300, dtype=np.int64)
+    return head, starts, counts, np.cumsum(counts)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_pages_at(seed):
+    rng = np.random.default_rng(seed)
+    head, starts, counts, offsets = _compressed_batch(rng, 4096)
+    total = head.size + int(offsets[-1])
+    positions = rng.integers(0, total, size=700, dtype=np.int64)
+    np.testing.assert_array_equal(
+        cb.run_pages_at(head, starts, counts, offsets, positions),
+        nb.run_pages_at(head, starts, counts, offsets, positions),
+    )
+    ordered = np.sort(positions)
+    np.testing.assert_array_equal(
+        cb.run_pages_at(
+            head, starts, counts, offsets, ordered, sorted_positions=True
+        ),
+        nb.run_pages_at(
+            head, starts, counts, offsets, ordered, sorted_positions=True
+        ),
+    )
+    with pytest.raises(IndexError):
+        cb.run_pages_at(
+            head, starts, counts, offsets,
+            np.array([total], dtype=np.int64),
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("stride", [1, 7, 16, 100_000])
+def test_strided_run_pages(seed, stride):
+    rng = np.random.default_rng(seed)
+    head, starts, counts, offsets = _compressed_batch(rng, 4096)
+    total = head.size + int(offsets[-1])
+    np.testing.assert_array_equal(
+        cb.strided_run_pages(head, starts, counts, offsets, stride, total),
+        nb.strided_run_pages(head, starts, counts, offsets, stride, total),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_weighted_page_counts(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    head, starts, counts, _ = _compressed_batch(rng, n_pages)
+    out_nb = rng.integers(0, 5, size=n_pages).astype(np.int64)
+    out_cb = out_nb.copy()
+    nb.weighted_page_counts(head, starts, counts, out_nb)
+    cb.weighted_page_counts(head, starts, counts, out_cb)
+    np.testing.assert_array_equal(out_cb, out_nb)
+    with pytest.raises(IndexError):
+        cb.weighted_page_counts(
+            np.array([n_pages], dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            out_cb,
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hint_faults(seed):
+    rng = np.random.default_rng(seed)
+    n_pages = 4096
+    # Head includes out-of-range ids: both backends must skip them.
+    head = rng.integers(-10, n_pages + 10, size=200, dtype=np.int64)
+    starts = rng.integers(0, n_pages - 40, size=300, dtype=np.int64)
+    counts = rng.integers(0, 41, size=300, dtype=np.int64)
+    unmap_nb = np.where(
+        rng.random(n_pages) < 0.3, rng.random(n_pages) * 1e6, -1.0
+    )
+    unmap_cb = unmap_nb.copy()
+    pages_nb, times_nb = nb.hint_faults(unmap_nb, head, starts, counts)
+    pages_cb, times_cb = cb.hint_faults(unmap_cb, head, starts, counts)
+    np.testing.assert_array_equal(pages_cb, pages_nb)
+    np.testing.assert_array_equal(times_cb, times_nb)
+    np.testing.assert_array_equal(unmap_cb, unmap_nb)

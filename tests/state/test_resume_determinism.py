@@ -63,6 +63,38 @@ def test_kill_resume_is_bit_identical(tmp_path, seed, policy, faults):
     assert resumed.to_dict() == reference.to_dict()
 
 
+@pytest.mark.parametrize(
+    "policy", ["autonuma", "tpp", "multiclock", "hemem", "damon"]
+)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_kill_resume_on_compressed_workload(tmp_path, seed, policy):
+    """Kill-resume stays bit-identical on the run-compressed fast path.
+
+    The cdn workload emits run-compressed batches and every policy here
+    opts out of stream materialization, so this drives resume through
+    the compressed observers (position-sampled PEBS, compressed hint
+    faults, strided touched sets) rather than the zipf matrix's
+    expanded streams.
+    """
+    workload = WorkloadSpec(
+        "cdn", slab_pages=2_048, ops_per_batch=2_000, seed=seed
+    )
+    pol = PolicySpec(policy, seed=seed)
+    reference = run_experiment(workload, pol, _cfg(seed, TOTAL_BATCHES))
+    ckpt = tmp_path / "ck"
+    run_experiment(
+        workload,
+        pol,
+        _cfg(seed, KILL_AT),
+        checkpoint_dir=ckpt,
+        checkpoint_every_batches=EVERY,
+    )
+    resumed = run_experiment(
+        workload, pol, _cfg(seed, TOTAL_BATCHES), resume_from=ckpt
+    )
+    assert resumed.to_dict() == reference.to_dict()
+
+
 def test_checkpointing_itself_does_not_perturb_results(tmp_path):
     workload, pol = _specs("freqtier", 4)
     reference = run_experiment(workload, pol, _cfg(4, TOTAL_BATCHES))
