@@ -99,6 +99,12 @@ from repro.policies import (
     StaticNoMigration,
     TPP,
 )
+from repro.serve import (
+    ServeConfig,
+    TieringDaemon,
+    VirtualTimeDriver,
+    WatchdogGaveUp,
+)
 from repro.workloads import (
     CacheLibWorkload,
     CDN_PROFILE,
@@ -153,6 +159,7 @@ __all__ = [
     "ResultCache",
     "SampleCoalescer",
     "SCALE_FACTOR",
+    "ServeConfig",
     "SimulationEngine",
     "Snapshot",
     "SnapshotError",
@@ -161,9 +168,12 @@ __all__ = [
     "SweepJournal",
     "SyntheticZipfWorkload",
     "TieredMemoryConfig",
+    "TieringDaemon",
     "TierSpec",
     "TPP",
     "Tracer",
+    "VirtualTimeDriver",
+    "WatchdogGaveUp",
     "WorkloadSpec",
     "XGBoostWorkload",
     "ZipfianSampler",

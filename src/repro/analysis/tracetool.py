@@ -178,6 +178,63 @@ def hit_ratio_series(events: list[dict]) -> list[tuple[float, float]]:
     ]
 
 
+def mode_timeline(events: list[dict]) -> list[dict[str, object]]:
+    """Degradation-ladder timeline from ``degraded`` serve events."""
+    segments: list[dict[str, object]] = []
+    for event in sorted(
+        (e for e in events if e["type"] == "degraded"),
+        key=lambda e: e["seq"],
+    ):
+        if segments:
+            segments[-1]["end_ns"] = event["t_ns"]
+        segments.append(
+            {
+                "start_ns": event["t_ns"],
+                "end_ns": None,
+                "mode": event["to"],
+                "reason": event["reason"],
+            }
+        )
+    return segments
+
+
+def serve_summary(events: list[dict]) -> dict[str, object] | None:
+    """Serving-daemon reduction of a trace, or None if never served.
+
+    Streams ``tick_start`` queue depths through a
+    :class:`~repro.obs.registry.HistogramRegistry` so the summary
+    carries the same p50/p99/p999 estimates the daemon reports live.
+    """
+    from repro.obs.registry import HistogramRegistry
+
+    ticks = [e for e in events if e["type"] == "tick_start"]
+    if not ticks:
+        return None
+    depths = HistogramRegistry()
+    mode_ticks: dict[str, int] = {}
+    for event in ticks:
+        depths.observe("queue_depth", event["queue_depth"])
+        mode_ticks[event["mode"]] = mode_ticks.get(event["mode"], 0) + 1
+    sheds = [e for e in events if e["type"] == "load_shed"]
+    restarts = [e for e in events if e["type"] == "watchdog_restart"]
+    drains = [e for e in events if e["type"] == "drain_complete"]
+    return {
+        "ticks": len(ticks),
+        "ticks_by_mode": dict(sorted(mode_ticks.items())),
+        "queue_depth": depths.summary("queue_depth"),
+        "shed_batches": sum(e["count"] for e in sheds),
+        "deadline_exceeded": sum(
+            1 for e in events if e["type"] == "deadline_exceeded"
+        ),
+        "watchdog_restarts": len(restarts),
+        "config_swaps": sum(
+            1 for e in events if e["type"] == "config_swapped"
+        ),
+        "drained": sum(e["served"] for e in drains),
+        "mode_timeline": mode_timeline(events),
+    }
+
+
 def summarize_trace(events: list[dict]) -> dict[str, object]:
     """Reduce a trace to the headline observability quantities."""
     counts: dict[str, int] = {}
@@ -199,6 +256,7 @@ def summarize_trace(events: list[dict]) -> dict[str, object]:
         "adaptation_latencies_ns": adaptation_latencies_ns(events),
         "hit_ratio_series": hit_ratio_series(events),
         "timeline": [seg.as_dict() for seg in timeline],
+        "serve": serve_summary(events),
     }
 
 
@@ -233,4 +291,34 @@ def format_trace_summary(summary: dict[str, object]) -> str:
             f"adaptation: {len(latencies)} monitoring->sampling "
             f"resume(s), mean latency {avg / 1e6:.3f} ms"
         )
+    serve = summary.get("serve")
+    if serve:
+        lines.append("serving:")
+        modes = ", ".join(
+            f"{mode}={count}" for mode, count in serve["ticks_by_mode"].items()
+        )
+        lines.append(f"  ticks:           {serve['ticks']} ({modes})")
+        depth = serve["queue_depth"]
+        if depth:
+            lines.append(
+                "  queue depth:     "
+                f"p50={depth['p50']:.1f} p99={depth['p99']:.1f} "
+                f"p999={depth['p999']:.1f} max={depth['max']:.0f}"
+            )
+        lines.append(
+            f"  shed batches:    {serve['shed_batches']}  "
+            f"deadline misses: {serve['deadline_exceeded']}  "
+            f"restarts: {serve['watchdog_restarts']}  "
+            f"config swaps: {serve['config_swaps']}"
+        )
+        for seg in serve["mode_timeline"]:
+            end = (
+                f"{seg['end_ns'] / 1e6:10.3f}"
+                if seg["end_ns"] is not None
+                else "       end"
+            )
+            lines.append(
+                f"  {seg['start_ns'] / 1e6:10.3f} -> {end} ms  "
+                f"mode={seg['mode']:<16} ({seg['reason']})"
+            )
     return "\n".join(lines)

@@ -514,6 +514,63 @@ def cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
     return 0 if any_valid else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the tiering daemon under the deterministic virtual-time
+    driver and report its SLO summary (see docs/API.md "Serving &
+    overload protection")."""
+    from repro.serve import ServeConfig, TieringDaemon, VirtualTimeDriver
+
+    workload_registry = _workload_registry(args.seed)
+    names = [n.strip() for n in args.workload.split(",")]
+    factories: dict[str, Callable] = {}
+    for i, name in enumerate(names):
+        factory = _lookup(workload_registry, name, "workload")
+        tenant = name if name not in factories else f"{name}-{i}"
+        factories[tenant] = factory
+    policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
+    config = _config_from_args(args)
+    config.max_batches = None
+    try:
+        serve = ServeConfig(
+            queue_capacity=args.queue_capacity,
+            backpressure=args.backpressure,
+            tick_budget_ns=args.tick_budget_ns,
+            max_batches_per_tick=args.max_batches_per_tick,
+            sample_only_stride=args.sample_stride,
+            max_restarts=args.max_restarts,
+            checkpoint_every_ticks=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    with trace_to(args.trace) as tracer:
+        daemon = TieringDaemon(
+            factories,
+            policy,
+            config,
+            serve=serve,
+            tracer=tracer,
+            faults=_faults_from_args(args),
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        driver = VirtualTimeDriver(
+            daemon, arrivals=args.arrivals, max_offers=args.offers
+        )
+        if args.rounds > 0:
+            driver.run(args.rounds)
+            daemon.drain()
+            daemon.finalize()
+        else:
+            driver.finish()
+    payload = daemon.slo_summary()
+    payload["restarts_recovered"] = driver.restarts_seen
+    if args.json:
+        print(json.dumps(payload, default=str))
+    else:
+        rows = [[k, v] for k, v in payload.items()]
+        print(format_rows(["metric", "value"], rows))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     workload = _lookup(_workload_registry(args.seed), args.workload, "workload")
     policy = _lookup(_policy_registry(args.seed), args.policy, "policy")
@@ -683,6 +740,98 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("dir", help="checkpoint directory")
     p_ins.add_argument("--json", action="store_true")
     p_ins.set_defaults(func=cmd_checkpoint_inspect)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the tiering daemon (bounded queues, deadline "
+        "budgets, degradation ladder, watchdog) under the "
+        "deterministic virtual-time driver",
+    )
+    p_serve.add_argument(
+        "--workload",
+        required=True,
+        help="comma-separated workload names; each becomes one tenant "
+        "with its own bounded queue",
+    )
+    p_serve.add_argument("--policy", required=True)
+    p_serve.add_argument("--local-fraction", type=float, default=0.06)
+    p_serve.add_argument("--ratio", default="1:32")
+    p_serve.add_argument("--cxl", type=int, choices=(1, 2), default=1)
+    p_serve.add_argument("--batches", type=int, default=0, help=argparse.SUPPRESS)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--json", action="store_true")
+    _add_fault_args(p_serve)
+    p_serve.add_argument(
+        "--offers",
+        type=_nonneg_int,
+        default=200,
+        metavar="N",
+        help="batches each tenant's stream supplies in total (default 200)",
+    )
+    p_serve.add_argument(
+        "--arrivals",
+        type=_nonneg_int,
+        default=2,
+        metavar="N",
+        help="batches offered per tenant per driver round (default 2)",
+    )
+    p_serve.add_argument(
+        "--rounds",
+        type=_nonneg_int,
+        default=0,
+        metavar="N",
+        help="driver rounds to run before draining (default 0 = run "
+        "until every stream is exhausted and drained)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="bounded per-tenant queue depth (default 64)",
+    )
+    p_serve.add_argument(
+        "--backpressure",
+        choices=("block", "shed-oldest", "reject"),
+        default="shed-oldest",
+        help="full-queue behaviour (default shed-oldest)",
+    )
+    p_serve.add_argument(
+        "--tick-budget-ns", type=float, default=0.0, metavar="NS",
+        help="per-tick policy overhead budget in simulated ns "
+        "(default 0 = no deadline)",
+    )
+    p_serve.add_argument(
+        "--max-batches-per-tick", type=int, default=8, metavar="N",
+        help="batches serviced per tick at most (default 8)",
+    )
+    p_serve.add_argument(
+        "--sample-stride", type=int, default=4, metavar="N",
+        help="policy runs every Nth batch in sample_only mode (default 4)",
+    )
+    p_serve.add_argument(
+        "--max-restarts", type=_nonneg_int, default=3, metavar="N",
+        help="watchdog restarts allowed before giving up (default 3)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="durable daemon checkpoints (engine + serving state) "
+        "under DIR; the watchdog restores the newest valid one",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=_nonneg_int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N ticks (default 0 = final drain "
+        "checkpoint only; needs --checkpoint-dir)",
+    )
+    p_serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace of the serving run to PATH",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_sweep = sub.add_parser("sweep", help="sweep local DRAM fractions")
     _add_common_args(p_sweep)

@@ -21,6 +21,7 @@ resume").
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -30,10 +31,28 @@ from repro.core.metrics import MetricsCollector
 from repro.memsim.machine import Machine
 from repro.obs import NULL_TRACER, Tracer
 from repro.policies.base import TieringPolicy
+from repro.sampling.events import AccessBatch
 from repro.workloads.spec import Workload
 
 if TYPE_CHECKING:
     from repro.state import CheckpointManager
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one :meth:`SimulationEngine.step` call did.
+
+    ``total_ns`` is the simulated time the batch consumed (the engine
+    already advanced ``now_ns`` by it); ``overhead_ns`` is the policy's
+    share, which serving-loop budgets charge against their per-tick
+    deadline.
+    """
+
+    total_ns: float
+    overhead_ns: float
+    n_local: int
+    n_cxl: int
+    pages_migrated: int
 
 
 class BatchContext:
@@ -239,6 +258,131 @@ class SimulationEngine:
                 file=path.name,
             )
 
+    def step(
+        self, batch: AccessBatch, *, invoke_policy: bool = True
+    ) -> StepOutcome:
+        """Service one access batch (the body of :meth:`run`'s loop).
+
+        Reads placement, records traffic, optionally invokes the
+        policy, charges the cost model, advances ``now_ns`` and the
+        progress counters, and saves a checkpoint when the cadence is
+        due.  :meth:`run` calls this for every batch of the workload
+        stream; the serving daemon (:mod:`repro.serve`) calls it for
+        batches dequeued from live tenant queues -- with
+        ``invoke_policy=False`` when its degradation ladder has shut
+        policy work off (accesses are still serviced and accounted).
+        """
+        machine = self.machine
+        tracer = self.tracer
+        tracer.clock_ns = self.now_ns
+        if self.fault_injector is not None:
+            self.fault_injector.tick_batch()
+        # Fused placement readback.  The placement view is re-fetched
+        # each batch because load_state() replaces it.
+        placement = machine.page_table.placement_view()
+        needs_stream = getattr(self.policy, "needs_access_stream", True)
+        if batch.run_starts is not None and not needs_stream:
+            # Run-compressed batch and a policy that only needs the
+            # (n_local, n_cxl) split: count tiers over the runs via
+            # a placement prefix sum -- the expanded stream is
+            # never built.
+            n_local, n_cxl = accel.compressed_placement_counts(
+                placement,
+                self.batch_ctx.prefix_for(
+                    placement, machine.page_table.version
+                ),
+                batch.head_page_ids,
+                batch.run_starts,
+                batch.run_counts,
+            )
+            tiers = None
+        else:
+            # Gather each access's tier code into the reused
+            # scratch buffer and count the split in one kernel --
+            # no per-batch allocation.
+            tiers = self.batch_ctx.tiers_for(batch.num_accesses)
+            n_local, n_cxl = accel.placement_counts(
+                placement, batch.page_ids, tiers
+            )
+        machine.traffic.record_accesses(n_local, n_cxl)
+
+        migrated_before = machine.traffic.pages_migrated
+        if invoke_policy:
+            # The (n_local, n_cxl) split rides along so policies do not
+            # re-scan ``tiers`` for counts the engine just computed.
+            overhead_ns = self.policy.on_batch(
+                batch, tiers, self.now_ns, counts=(n_local, n_cxl)
+            )
+        else:
+            overhead_ns = 0.0
+        migrated = machine.traffic.pages_migrated - migrated_before
+        if tracer.enabled:
+            tracer.emit(
+                "batch",
+                t_ns=self.now_ns,
+                n_local=n_local,
+                n_cxl=n_cxl,
+                pages_migrated=migrated,
+                overhead_ns=overhead_ns,
+            )
+
+        cost = machine.cost_model.batch_cost(
+            cpu_ns=batch.cpu_ns,
+            local_accesses=n_local,
+            cxl_accesses=n_cxl,
+            pages_migrated=migrated,
+            overhead_ns=overhead_ns,
+            bytes_per_access=batch.bytes_per_access,
+        )
+        self.metrics.record_batch(
+            start_ns=self.now_ns,
+            cost=cost,
+            num_ops=batch.num_ops,
+            local_accesses=n_local,
+            cxl_accesses=n_cxl,
+            pages_migrated=migrated,
+            label=batch.label,
+        )
+        self.now_ns += cost.total_ns
+        self.accesses_done += batch.num_accesses
+        self.batches_done += 1
+        if batch.run_starts is not None:
+            # Generators may keep a reference to the batch they
+            # yielded; dropping any cached expansion here keeps a
+            # fast-path run's live memory at the compressed size.
+            batch.release_expanded()
+
+        if (
+            self.checkpoint_manager is not None
+            and self.checkpoint_every_batches
+            and self.batches_done % self.checkpoint_every_batches == 0
+        ):
+            self._save_checkpoint()
+        return StepOutcome(
+            total_ns=cost.total_ns,
+            overhead_ns=overhead_ns,
+            n_local=n_local,
+            n_cxl=n_cxl,
+            pages_migrated=migrated,
+        )
+
+    def finalize(self, warmup_fraction: float = 0.25):
+        """Reduce everything recorded so far to an ExperimentResult."""
+        policy_stats = self.policy.stats.as_dict()
+        if self.tracer.enabled:
+            # The tracer's per-run aggregates (samples lost, scan
+            # chunks, CBF ops, migration batch sizes...) ride along in
+            # policy_stats so reports need not parse the trace file.
+            policy_stats.update(self.tracer.stats_dict())
+        return self.metrics.finalize(
+            policy_name=self.policy.name,
+            workload_name=self.workload.name,
+            traffic_breakdown=self.machine.traffic.breakdown(),
+            migration_bytes=self.machine.traffic.migration_bytes,
+            warmup_fraction=warmup_fraction,
+            policy_stats=policy_stats,
+        )
+
     def run(
         self,
         max_batches: int | None = None,
@@ -247,15 +391,6 @@ class SimulationEngine:
     ):
         """Run to a limit (or trace exhaustion); returns ExperimentResult."""
         self.setup()
-        machine = self.machine
-        tracer = self.tracer
-        ckpt_every = (
-            self.checkpoint_every_batches if self.checkpoint_manager else 0
-        )
-        # Policies that consume only the tier split and position-based
-        # samples opt out of stream materialization (see
-        # TieringPolicy.needs_access_stream).
-        needs_stream = getattr(self.policy, "needs_access_stream", True)
         stream = self.workload.batches()
         if self.batches_done:
             # Resuming: replay the workload generator deterministically
@@ -272,95 +407,5 @@ class SimulationEngine:
                 break
             if max_accesses is not None and self.accesses_done >= max_accesses:
                 break
-
-            tracer.clock_ns = self.now_ns
-            if self.fault_injector is not None:
-                self.fault_injector.tick_batch()
-            # Fused placement readback.  The placement view is
-            # re-fetched each batch because load_state() replaces it.
-            placement = machine.page_table.placement_view()
-            if batch.run_starts is not None and not needs_stream:
-                # Run-compressed batch and a policy that only needs the
-                # (n_local, n_cxl) split: count tiers over the runs via
-                # a placement prefix sum -- the expanded stream is
-                # never built.
-                n_local, n_cxl = accel.compressed_placement_counts(
-                    placement,
-                    self.batch_ctx.prefix_for(
-                        placement, machine.page_table.version
-                    ),
-                    batch.head_page_ids,
-                    batch.run_starts,
-                    batch.run_counts,
-                )
-                tiers = None
-            else:
-                # Gather each access's tier code into the reused
-                # scratch buffer and count the split in one kernel --
-                # no per-batch allocation.
-                tiers = self.batch_ctx.tiers_for(batch.num_accesses)
-                n_local, n_cxl = accel.placement_counts(
-                    placement, batch.page_ids, tiers
-                )
-            machine.traffic.record_accesses(n_local, n_cxl)
-
-            migrated_before = machine.traffic.pages_migrated
-            # The (n_local, n_cxl) split rides along so policies do not
-            # re-scan ``tiers`` for counts the engine just computed.
-            overhead_ns = self.policy.on_batch(
-                batch, tiers, self.now_ns, counts=(n_local, n_cxl)
-            )
-            migrated = machine.traffic.pages_migrated - migrated_before
-            if tracer.enabled:
-                tracer.emit(
-                    "batch",
-                    t_ns=self.now_ns,
-                    n_local=n_local,
-                    n_cxl=n_cxl,
-                    pages_migrated=migrated,
-                    overhead_ns=overhead_ns,
-                )
-
-            cost = machine.cost_model.batch_cost(
-                cpu_ns=batch.cpu_ns,
-                local_accesses=n_local,
-                cxl_accesses=n_cxl,
-                pages_migrated=migrated,
-                overhead_ns=overhead_ns,
-                bytes_per_access=batch.bytes_per_access,
-            )
-            self.metrics.record_batch(
-                start_ns=self.now_ns,
-                cost=cost,
-                num_ops=batch.num_ops,
-                local_accesses=n_local,
-                cxl_accesses=n_cxl,
-                pages_migrated=migrated,
-                label=batch.label,
-            )
-            self.now_ns += cost.total_ns
-            self.accesses_done += batch.num_accesses
-            self.batches_done += 1
-            if batch.run_starts is not None:
-                # Generators may keep a reference to the batch they
-                # yielded; dropping any cached expansion here keeps a
-                # fast-path run's live memory at the compressed size.
-                batch.release_expanded()
-
-            if ckpt_every and self.batches_done % ckpt_every == 0:
-                self._save_checkpoint()
-
-        policy_stats = self.policy.stats.as_dict()
-        if tracer.enabled:
-            # The tracer's per-run aggregates (samples lost, scan
-            # chunks, CBF ops, migration batch sizes...) ride along in
-            # policy_stats so reports need not parse the trace file.
-            policy_stats.update(tracer.stats_dict())
-        return self.metrics.finalize(
-            policy_name=self.policy.name,
-            workload_name=self.workload.name,
-            traffic_breakdown=machine.traffic.breakdown(),
-            migration_bytes=machine.traffic.migration_bytes,
-            warmup_fraction=warmup_fraction,
-            policy_stats=policy_stats,
-        )
+            self.step(batch)
+        return self.finalize(warmup_fraction=warmup_fraction)

@@ -110,6 +110,17 @@ class FaultInjector:
                 f"injected crash after {self.batch_index} batches"
             )
 
+    def disarm_crash(self) -> None:
+        """Prevent the scheduled crash from (re)firing.
+
+        :meth:`load_state` disarms implicitly (a restored incarnation
+        is the post-crash run); supervisors that restart *without* a
+        checkpoint -- e.g. the serving daemon's watchdog on a fresh
+        restart -- must disarm explicitly, or the rebuilt injector
+        would re-fire the same crash forever.
+        """
+        self._crash_disarmed = True
+
     # -- migration faults --------------------------------------------------
 
     @property

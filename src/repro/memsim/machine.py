@@ -138,6 +138,17 @@ class Machine:
         #: migrations consult it for per-page failures and the access
         #: path ticks its batch clock.
         self.fault_injector: FaultInjector | None = None
+        #: Migration gate.  While False, every :meth:`move_pages_ex`
+        #: call is refused wholesale: pages land in
+        #: ``rejected_capacity`` (the disposition policies already
+        #: drop silently -- candidates re-qualify through the normal
+        #: path later) and no traffic or fault RNG is consumed.  The
+        #: serving daemon closes the gate in its defer-migrations /
+        #: sample-only degradation modes.
+        self.migrations_enabled = True
+        #: Pages refused by the closed gate (cumulative; the daemon's
+        #: migration-stall accounting reads deltas of this).
+        self.migrations_deferred = 0
         self._reserved_local_pages = 0
 
     # -- reservations (e.g. pinned tiering metadata) -----------------------
@@ -276,6 +287,16 @@ class Machine:
         source_tier = LOCAL_TIER if target_tier == CXL_TIER else CXL_TIER
         movable = pages[placement == source_tier]
         outcome = MoveOutcome()
+        if not self.migrations_enabled:
+            # Gate closed (degraded serving mode): refuse the whole
+            # call before the fault injector so no fault RNG is drawn
+            # for work that was never attempted.
+            if movable.size:
+                self.migrations_deferred += int(movable.size)
+                outcome.rejected_capacity = movable
+                if self.tracer.enabled:
+                    self.tracer.count("migrations_deferred", int(movable.size))
+            return outcome
         if self.fault_injector is not None and movable.size:
             (
                 movable,
@@ -377,9 +398,13 @@ class Machine:
             "page_table": self.page_table.state_dict(),
             "traffic": self.traffic.state_dict(),
             "reserved_local_pages": self._reserved_local_pages,
+            "migrations_deferred": self.migrations_deferred,
         }
 
     def load_state(self, state: dict) -> None:
         self.page_table.load_state(state["page_table"])
         self.traffic.load_state(state["traffic"])
         self._reserved_local_pages = int(state["reserved_local_pages"])
+        # Default keeps pre-gate snapshots loadable.
+        self.migrations_deferred = int(state.get("migrations_deferred", 0))
+        self.migrations_enabled = True

@@ -59,6 +59,26 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     # A requested accel backend was unavailable; the run fell back to
     # the NumPy reference (emitted once per run, at setup).
     "accel_fallback": frozenset({"requested", "active", "reason"}),
+    # -- serving daemon (repro.serve) --------------------------------------
+    # One daemon tick began (mode is the degradation-ladder rung;
+    # queue_depth is the aggregate backlog at tick start).
+    "tick_start": frozenset({"tick", "mode", "queue_depth"}),
+    # The per-tick policy latency budget ran out mid-tick; remaining
+    # batches were serviced without policy work.
+    "deadline_exceeded": frozenset({"tick", "budget_ns", "spent_ns"}),
+    # The degradation ladder moved (either direction; reason is
+    # "overload" going down, "recovered" re-promoting).
+    "degraded": frozenset({"from", "to", "reason"}),
+    # Backpressure dropped or refused work on a tenant queue (reason
+    # is "shed_oldest" or "reject").
+    "load_shed": frozenset({"tenant", "count", "reason"}),
+    # The watchdog restarted the policy loop from the newest valid
+    # checkpoint (generation -1 = no checkpoint, fresh restart).
+    "watchdog_restart": frozenset({"restarts", "reason", "generation"}),
+    # A serve/policy config hot-swap was applied at a tick boundary.
+    "config_swapped": frozenset({"changed"}),
+    # A graceful drain finished: intake closed, queues fully serviced.
+    "drain_complete": frozenset({"served", "remaining"}),
 }
 
 

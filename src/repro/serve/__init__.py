@@ -1,0 +1,39 @@
+"""Online serving: daemon, backpressure, budgets, watchdog, driver.
+
+The offline engine answers "what would this policy have done over this
+trace"; :mod:`repro.serve` answers "what does it do *live*, under
+load, with failures".  See docs/API.md "Serving & overload
+protection".
+"""
+
+from repro.serve.budget import DegradationLadder, TickBudget
+from repro.serve.config import (
+    BACKPRESSURE_MODES,
+    DEGRADATION_MODES,
+    ServeConfig,
+)
+from repro.serve.daemon import (
+    MultiTenantLayout,
+    TickReport,
+    TieringDaemon,
+)
+from repro.serve.driver import VirtualTimeDriver
+from repro.serve.queues import QueuedBatch, TenantQueue, aggregate_depth
+from repro.serve.watchdog import Watchdog, WatchdogGaveUp
+
+__all__ = [
+    "BACKPRESSURE_MODES",
+    "DEGRADATION_MODES",
+    "DegradationLadder",
+    "MultiTenantLayout",
+    "QueuedBatch",
+    "ServeConfig",
+    "TenantQueue",
+    "TickBudget",
+    "TickReport",
+    "TieringDaemon",
+    "VirtualTimeDriver",
+    "Watchdog",
+    "WatchdogGaveUp",
+    "aggregate_depth",
+]

@@ -2,11 +2,44 @@
 
 from __future__ import annotations
 
+import shutil
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.memsim.machine import Machine, MachineConfig
 from repro.memsim.tier import CXL1_CONFIG
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _is_pycache_only(directory: Path) -> bool:
+    """True when ``directory`` holds nothing but a __pycache__ dir.
+
+    A package directory whose sources were removed (e.g. by a branch
+    switch) can leave behind orphaned ``.pyc`` files that python is
+    happy to import -- the tests would then exercise deleted code.
+    """
+    children = list(directory.iterdir())
+    return (
+        len(children) == 1
+        and children[0].name == "__pycache__"
+        and children[0].is_dir()
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _purge_stale_pycache_dirs():
+    """Delete package dirs that contain only a stale __pycache__."""
+    for root in (_REPO_ROOT / "src" / "repro", _REPO_ROOT / "tests"):
+        if not root.is_dir():
+            continue
+        for cache in root.rglob("__pycache__"):
+            parent = cache.parent
+            if parent != root and _is_pycache_only(parent):
+                shutil.rmtree(parent, ignore_errors=True)
+    yield
 
 
 @pytest.fixture

@@ -38,12 +38,14 @@ class TestHistogramRegistry:
         reg = HistogramRegistry()
         for v in (4.0, 1.0, 7.0):
             reg.observe("batch", v)
-        assert reg.summary("batch") == {
-            "count": 3,
-            "sum": 12.0,
-            "min": 1.0,
-            "max": 7.0,
-            "mean": 4.0,
+        summary = reg.summary("batch")
+        assert summary["count"] == 3
+        assert summary["sum"] == 12.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 7.0
+        assert summary["mean"] == 4.0
+        assert set(summary) == {
+            "count", "sum", "min", "max", "mean", "p50", "p99", "p999",
         }
 
     def test_nan_rejected(self):
@@ -63,4 +65,49 @@ class TestHistogramRegistry:
             "batch_min",
             "batch_max",
             "batch_mean",
+            "batch_p50",
+            "batch_p99",
+            "batch_p999",
         }
+
+    def test_single_value_quantiles_exact(self):
+        reg = HistogramRegistry()
+        reg.observe("lat", 37.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert reg.quantile("lat", q) == 37.5
+
+    def test_quantile_estimates_within_bucket_error(self):
+        # Uniform 1..1000: the log-bucket estimator must land within
+        # its ~4% relative error of the exact quantile.
+        reg = HistogramRegistry()
+        for v in range(1, 1001):
+            reg.observe("lat", float(v))
+        for q in (0.5, 0.99, 0.999):
+            exact = q * 1000
+            estimate = reg.quantile("lat", q)
+            assert abs(estimate - exact) <= 0.05 * exact + 1.0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        reg = HistogramRegistry()
+        for v in (10.0, 20.0, 30.0):
+            reg.observe("lat", v)
+        assert reg.quantile("lat", 0.0) >= 10.0
+        assert reg.quantile("lat", 1.0) <= 30.0
+
+    def test_nonpositive_values_map_to_min(self):
+        reg = HistogramRegistry()
+        for v in (0.0, -5.0, 2.0):
+            reg.observe("lat", v)
+        # Two of three observations are <= 0, so the median sits in
+        # the non-positive bucket, reported as the observed minimum.
+        assert reg.quantile("lat", 0.5) == -5.0
+        assert reg.summary("lat")["min"] == -5.0
+
+    def test_quantile_of_missing_histogram_is_none(self):
+        assert HistogramRegistry().quantile("nope", 0.5) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        reg = HistogramRegistry()
+        reg.observe("lat", 1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            reg.quantile("lat", 1.5)

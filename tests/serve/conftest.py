@@ -1,0 +1,45 @@
+"""Shared builders for the serving-daemon tests.
+
+Everything here is sized for speed: tiny Zipf tenants (1-2k pages,
+1k accesses per batch) so a whole daemon lifecycle -- overload,
+degradation, crash, recovery, drain -- runs in well under a second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.policies.freqtier import FreqTier
+from repro.serve import ServeConfig, TieringDaemon
+from repro.workloads.trace import SyntheticZipfWorkload
+
+
+def zipf_factory(seed: int = 1, pages: int = 2000, accesses: int = 1000):
+    return lambda: SyntheticZipfWorkload(
+        pages, accesses_per_batch=accesses, seed=seed
+    )
+
+
+def make_daemon(
+    serve: ServeConfig | None = None,
+    tenants: dict | None = None,
+    tracer=None,
+    faults=None,
+    checkpoint_dir=None,
+    policy_factory=None,
+) -> TieringDaemon:
+    return TieringDaemon(
+        workload_factories=tenants or {"a": zipf_factory(seed=1)},
+        policy_factory=policy_factory or (lambda: FreqTier()),
+        config=ExperimentConfig(local_fraction=0.3),
+        serve=serve,
+        tracer=tracer,
+        faults=faults,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+@pytest.fixture
+def daemon() -> TieringDaemon:
+    return make_daemon()

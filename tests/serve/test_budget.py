@@ -1,0 +1,106 @@
+"""TickBudget deadlines and DegradationLadder hysteresis."""
+
+from repro.serve import ServeConfig
+from repro.serve.budget import DegradationLadder, TickBudget
+
+
+class TestTickBudget:
+    def test_disabled_budget_never_exceeds(self):
+        budget = TickBudget(0.0)
+        budget.charge(1e12)
+        assert not budget.enabled
+        assert not budget.exceeded
+
+    def test_exceeds_only_past_budget(self):
+        budget = TickBudget(100.0)
+        budget.charge(100.0)
+        assert not budget.exceeded
+        budget.charge(0.1)
+        assert budget.exceeded
+
+    def test_reset_clears_and_can_retarget(self):
+        budget = TickBudget(10.0)
+        budget.charge(50.0)
+        budget.reset(20.0)
+        assert budget.spent_ns == 0.0
+        assert budget.budget_ns == 20.0
+
+
+def ladder(degrade_after=2, promote_after=3) -> DegradationLadder:
+    return DegradationLadder(
+        ServeConfig(
+            degrade_queue_high=0.75,
+            promote_queue_low=0.25,
+            degrade_after_ticks=degrade_after,
+            promote_after_ticks=promote_after,
+        )
+    )
+
+
+class TestDegradationLadder:
+    def test_starts_full(self):
+        lad = ladder()
+        assert lad.mode == "full"
+        assert lad.migrations_enabled
+
+    def test_degrades_after_streak(self):
+        lad = ladder(degrade_after=2)
+        assert lad.observe_tick(0.9, False) is None
+        assert lad.observe_tick(0.9, False) == ("full", "defer_migrations")
+        assert not lad.migrations_enabled
+
+    def test_single_overloaded_tick_is_not_enough(self):
+        lad = ladder(degrade_after=2)
+        lad.observe_tick(0.9, False)
+        lad.observe_tick(0.5, False)  # middle ground resets the streak
+        assert lad.observe_tick(0.9, False) is None
+        assert lad.mode == "full"
+
+    def test_budget_exceeded_counts_as_overload(self):
+        lad = ladder(degrade_after=1)
+        assert lad.observe_tick(0.0, True) == ("full", "defer_migrations")
+
+    def test_bottom_rung_is_sticky(self):
+        lad = ladder(degrade_after=1)
+        for _ in range(10):
+            lad.observe_tick(1.0, False)
+        assert lad.mode == "monitor_only"
+
+    def test_promotes_one_rung_per_calm_streak(self):
+        lad = ladder(degrade_after=1, promote_after=2)
+        lad.observe_tick(1.0, False)
+        lad.observe_tick(1.0, False)
+        assert lad.mode == "sample_only"
+        assert lad.observe_tick(0.1, False) is None
+        assert lad.observe_tick(0.1, False) == (
+            "sample_only", "defer_migrations",
+        )
+        lad.observe_tick(0.1, False)
+        assert lad.observe_tick(0.1, False) == ("defer_migrations", "full")
+        # Fully promoted: further calm ticks are a no-op.
+        lad.observe_tick(0.1, False)
+        assert lad.observe_tick(0.1, False) is None
+
+    def test_invoke_policy_per_mode(self):
+        lad = ladder()
+        assert lad.invoke_policy(0) and lad.invoke_policy(3)
+        lad.mode = "defer_migrations"
+        assert lad.invoke_policy(1)
+        lad.mode = "sample_only"  # stride defaults to 4
+        assert lad.invoke_policy(0)
+        assert not lad.invoke_policy(1)
+        assert lad.invoke_policy(4)
+        lad.mode = "monitor_only"
+        assert not lad.invoke_policy(0)
+
+    def test_state_round_trip(self):
+        lad = ladder(degrade_after=3)
+        lad.observe_tick(0.9, False)
+        lad.observe_tick(0.9, False)
+        state = lad.state_dict()
+        fresh = ladder(degrade_after=3)
+        fresh.load_state(state)
+        assert fresh.mode == lad.mode
+        assert fresh.overloaded_streak == 2
+        # The restored streak continues where it left off.
+        assert fresh.observe_tick(0.9, False) == ("full", "defer_migrations")
